@@ -1,0 +1,140 @@
+//! Kepler register-bank mapping (Section 3.3 of the paper).
+//!
+//! The paper's microbenchmarks show that on GK104 the register file behaves
+//! as four banks, named after the parity and low-octet position of the
+//! register index:
+//!
+//! * `even 0`: `R % 8 < 4  && R % 2 == 0`
+//! * `even 1`: `R % 8 >= 4 && R % 2 == 0`
+//! * `odd 0` : `R % 8 < 4  && R % 2 == 1`
+//! * `odd 1` : `R % 8 >= 4 && R % 2 == 1`
+//!
+//! An FFMA whose *distinct* source registers share a bank loses throughput:
+//! two sources on one bank halve it, three sources on one bank cut it to a
+//! third (Table 2).
+
+use std::fmt;
+
+/// One of the four Kepler register-file banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegisterBank {
+    /// `R % 8 < 4` and even index.
+    Even0,
+    /// `R % 8 >= 4` and even index.
+    Even1,
+    /// `R % 8 < 4` and odd index.
+    Odd0,
+    /// `R % 8 >= 4` and odd index.
+    Odd1,
+}
+
+impl RegisterBank {
+    /// All four banks.
+    pub const ALL: [RegisterBank; 4] = [
+        RegisterBank::Even0,
+        RegisterBank::Even1,
+        RegisterBank::Odd0,
+        RegisterBank::Odd1,
+    ];
+
+    /// A stable small index (0..=3) for use in tables/bitsets.
+    pub fn index(self) -> usize {
+        match self {
+            RegisterBank::Even0 => 0,
+            RegisterBank::Even1 => 1,
+            RegisterBank::Odd0 => 2,
+            RegisterBank::Odd1 => 3,
+        }
+    }
+
+    /// Inverse of [`RegisterBank::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    pub fn from_index(index: usize) -> RegisterBank {
+        RegisterBank::ALL[index]
+    }
+}
+
+impl fmt::Display for RegisterBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RegisterBank::Even0 => "even0",
+            RegisterBank::Even1 => "even1",
+            RegisterBank::Odd0 => "odd0",
+            RegisterBank::Odd1 => "odd1",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Map a register index to its Kepler bank, per Section 3.3.
+///
+/// The mapping only depends on `r % 8`, so it is total over all 63
+/// architectural registers (and the RZ pseudo-register, though RZ reads do
+/// not consume bank bandwidth).
+pub fn register_bank(r: u8) -> RegisterBank {
+    let low = r % 8 < 4;
+    let even = r % 2 == 0;
+    match (even, low) {
+        (true, true) => RegisterBank::Even0,
+        (true, false) => RegisterBank::Even1,
+        (false, true) => RegisterBank::Odd0,
+        (false, false) => RegisterBank::Odd1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_matches_paper_definition() {
+        // R0..R7 cycle through: E0 O0 E0 O0 E1 O1 E1 O1
+        assert_eq!(register_bank(0), RegisterBank::Even0);
+        assert_eq!(register_bank(1), RegisterBank::Odd0);
+        assert_eq!(register_bank(2), RegisterBank::Even0);
+        assert_eq!(register_bank(3), RegisterBank::Odd0);
+        assert_eq!(register_bank(4), RegisterBank::Even1);
+        assert_eq!(register_bank(5), RegisterBank::Odd1);
+        assert_eq!(register_bank(6), RegisterBank::Even1);
+        assert_eq!(register_bank(7), RegisterBank::Odd1);
+    }
+
+    #[test]
+    fn mapping_is_periodic_mod_8() {
+        for r in 0u8..64 {
+            assert_eq!(register_bank(r), register_bank(r % 8));
+        }
+    }
+
+    #[test]
+    fn banks_are_balanced() {
+        let mut counts = [0usize; 4];
+        for r in 0u8..64 {
+            counts[register_bank(r).index()] += 1;
+        }
+        assert_eq!(counts, [16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for bank in RegisterBank::ALL {
+            assert_eq!(RegisterBank::from_index(bank.index()), bank);
+        }
+    }
+
+    #[test]
+    fn paper_table2_examples() {
+        // FFMA R0, R1, R4, R5: sources R1(O0), R4(E1), R5(O1) -> 3 banks, full speed.
+        let banks = [register_bank(1), register_bank(4), register_bank(5)];
+        assert_eq!(banks[0], RegisterBank::Odd0);
+        assert_eq!(banks[1], RegisterBank::Even1);
+        assert_eq!(banks[2], RegisterBank::Odd1);
+        // FFMA R0, R1, R3, R5: R1(O0), R3(O0) share a bank -> 2-way conflict.
+        assert_eq!(register_bank(1), register_bank(3));
+        // FFMA R0, R1, R3, R9: R1, R3, R9 all odd0 -> 3-way conflict.
+        assert_eq!(register_bank(9), RegisterBank::Odd0);
+    }
+}

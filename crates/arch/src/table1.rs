@@ -1,0 +1,94 @@
+//! Rendering of Table 1 ("Architecture Evolution") from the configuration
+//! database.
+
+use crate::{Generation, GpuConfig};
+
+/// One labelled row of Table 1: the metric name and its value for each of the
+/// three generations (GT200 / Fermi / Kepler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Metric label as printed in the paper.
+    pub label: &'static str,
+    /// Values for `[GT200, Fermi, Kepler]`.
+    pub values: [String; 3],
+}
+
+fn fmt_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Regenerate the rows of Table 1 from the three card presets.
+pub fn render_table1() -> Vec<Table1Row> {
+    let cards: Vec<GpuConfig> = Generation::ALL.iter().map(|&g| GpuConfig::preset(g)).collect();
+    let row = |label: &'static str, f: &dyn Fn(&GpuConfig) -> String| Table1Row {
+        label,
+        values: [f(&cards[0]), f(&cards[1]), f(&cards[2])],
+    };
+    vec![
+        row("Core Clock (MHz)", &|c| fmt_num(c.core_clock_mhz)),
+        row("Shader Clock (MHz)", &|c| fmt_num(c.shader_clock_mhz)),
+        row("Global Memory Bandwidth (GB/s)", &|c| {
+            fmt_num(c.mem_bandwidth_gbps)
+        }),
+        row("Warp Scheduler per SM", &|c| {
+            fmt_num(f64::from(c.warp_schedulers_per_sm))
+        }),
+        row("Dispatch Unit per SM", &|c| {
+            fmt_num(f64::from(c.dispatch_units_per_sm))
+        }),
+        row(
+            "Thread Instruction issue throughput per shader cycle per SM",
+            &|c| fmt_num(f64::from(c.issue_throughput_per_cycle())),
+        ),
+        row("SP per SM", &|c| fmt_num(f64::from(c.sps_per_sm))),
+        row(
+            "SP Thread Instruction processing throughput per shader cycle per SM (FMAD/FFMA)",
+            &|c| fmt_num(f64::from(c.sp_throughput_per_cycle())),
+        ),
+        row("LD/ST Unit per SM", &|c| fmt_num(f64::from(c.ldst_units_per_sm))),
+        row("Shared Memory per SM (KB)", &|c| {
+            fmt_num(f64::from(c.shared_mem_per_sm) / 1024.0)
+        }),
+        row("32bit Registers per SM (K)", &|c| {
+            fmt_num(f64::from(c.registers_per_sm) / 1024.0)
+        }),
+        row("Theoretical Peak Performance (GFLOPS)", &|c| {
+            fmt_num(c.theoretical_peak_gflops().round())
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_paper_values() {
+        let rows = render_table1();
+        let find = |label: &str| -> &Table1Row {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+        };
+        assert_eq!(find("Core Clock (MHz)").values, ["602", "772", "1006"]);
+        assert_eq!(find("Shader Clock (MHz)").values, ["1296", "1544", "1006"]);
+        assert_eq!(find("SP per SM").values, ["8", "32", "192"]);
+        assert_eq!(find("Warp Scheduler per SM").values, ["1", "2", "4"]);
+        assert_eq!(find("Dispatch Unit per SM").values, ["1", "2", "8"]);
+        assert_eq!(
+            find("Theoretical Peak Performance (GFLOPS)").values,
+            ["933", "1581", "3090"]
+        );
+        assert_eq!(find("Shared Memory per SM (KB)").values, ["16", "48", "48"]);
+        assert_eq!(find("32bit Registers per SM (K)").values, ["16", "32", "64"]);
+    }
+
+    #[test]
+    fn table1_row_count_is_stable() {
+        assert_eq!(render_table1().len(), 12);
+    }
+}

@@ -1,0 +1,303 @@
+//! Measured instruction-throughput database (the paper's calibration data).
+//!
+//! Section 3.3 and Figures 2/4 of the paper are produced by microbenchmarks
+//! run on real silicon. Those measurements are the constants below; the
+//! simulator in `peakperf-sim` is parameterized by them, and the
+//! microbenchmarks in `peakperf-kernels` re-derive them (and the emergent
+//! curve shapes) on the simulator.
+
+use crate::Generation;
+
+/// Width of an `LDS` shared-memory load instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LdsWidth {
+    /// `LDS` — one 32-bit word per thread.
+    B32,
+    /// `LDS.64` — two consecutive 32-bit words per thread.
+    B64,
+    /// `LDS.128` — four consecutive 32-bit words per thread.
+    B128,
+}
+
+impl LdsWidth {
+    /// All widths, narrow to wide.
+    pub const ALL: [LdsWidth; 3] = [LdsWidth::B32, LdsWidth::B64, LdsWidth::B128];
+
+    /// Bytes moved per thread by one instruction.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LdsWidth::B32 => 4,
+            LdsWidth::B64 => 8,
+            LdsWidth::B128 => 16,
+        }
+    }
+
+    /// Number of 32-bit registers written per thread.
+    pub fn words(self) -> u32 {
+        self.bytes() / 4
+    }
+
+    /// The assembly suffix (`""`, `".64"`, `".128"`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            LdsWidth::B32 => "",
+            LdsWidth::B64 => ".64",
+            LdsWidth::B128 => ".128",
+        }
+    }
+}
+
+/// Per-generation measured throughput limits, in *thread instructions per
+/// shader cycle per SM* unless noted.
+///
+/// All numbers are taken from the paper (Table 2, Section 4.1, Section 4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTable {
+    generation: Generation,
+}
+
+impl ThroughputTable {
+    /// The throughput table of one generation.
+    pub fn for_generation(generation: Generation) -> ThroughputTable {
+        ThroughputTable { generation }
+    }
+
+    /// The generation this table describes.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Peak FFMA thread-instruction throughput with conflict-free distinct
+    /// operands. On Fermi this is the SP count (32); on Kepler the measured
+    /// scheduler/operand limit of ~132 (Table 2), well below the 192 SPs.
+    pub fn ffma_peak(&self) -> f64 {
+        match self.generation {
+            Generation::Gt200 => 8.0,
+            Generation::Fermi => 32.0,
+            Generation::Kepler => 132.0,
+        }
+    }
+
+    /// The Kepler effective issue limit in thread instructions per cycle
+    /// (~132, i.e. 33 warp instructions per 8 cycles). Returns `None` for
+    /// generations whose issue limit equals the structural scheduler limit.
+    pub fn kepler_issue_limit(&self) -> Option<f64> {
+        match self.generation {
+            Generation::Kepler => Some(132.0),
+            _ => None,
+        }
+    }
+
+    /// Measured FFMA throughput when two *distinct* source registers share a
+    /// register bank (Kepler only; Table 2 shows 66.2).
+    pub fn ffma_two_way_conflict(&self) -> f64 {
+        match self.generation {
+            Generation::Kepler => 66.2,
+            _ => self.ffma_peak(),
+        }
+    }
+
+    /// Measured FFMA throughput when all three distinct source registers
+    /// share one bank (Kepler only; Table 2 shows 44.2).
+    pub fn ffma_three_way_conflict(&self) -> f64 {
+        match self.generation {
+            Generation::Kepler => 44.2,
+            _ => self.ffma_peak(),
+        }
+    }
+
+    /// Measured FFMA throughput ceiling when source registers repeat
+    /// (e.g. `FFMA RA, RB, RB, RA`): ~178 on Kepler with carefully designed
+    /// code (Section 3.3).
+    pub fn ffma_reuse_peak(&self) -> f64 {
+        match self.generation {
+            Generation::Kepler => 178.0,
+            _ => self.ffma_peak(),
+        }
+    }
+
+    /// IMUL/IMAD throughput (quarter rate on Kepler: Table 2 shows 33.2).
+    pub fn imul_peak(&self) -> f64 {
+        match self.generation {
+            Generation::Gt200 => 2.0,
+            Generation::Fermi => 16.0,
+            Generation::Kepler => 33.2,
+        }
+    }
+
+    /// LDS.X thread-instruction throughput per shader cycle per SM
+    /// (Section 4.1):
+    ///
+    /// * Fermi: LDS 16/cycle; LDS.64 8/cycle (same data rate); LDS.128
+    ///   2/cycle (intrinsic 2-way bank conflict).
+    /// * Kepler: LDS.64 33.1/cycle; LDS 33.1/cycle (half the data rate);
+    ///   LDS.128 16.5/cycle (same data rate as LDS.64, "no penalty").
+    pub fn lds_inst_throughput(&self, width: LdsWidth) -> f64 {
+        match (self.generation, width) {
+            (Generation::Gt200, LdsWidth::B32) => 8.0,
+            (Generation::Gt200, LdsWidth::B64) => 4.0,
+            (Generation::Gt200, LdsWidth::B128) => 1.0,
+            (Generation::Fermi, LdsWidth::B32) => 16.0,
+            (Generation::Fermi, LdsWidth::B64) => 8.0,
+            (Generation::Fermi, LdsWidth::B128) => 2.0,
+            (Generation::Kepler, LdsWidth::B32) => 33.1,
+            (Generation::Kepler, LdsWidth::B64) => 33.1,
+            (Generation::Kepler, LdsWidth::B128) => 16.55,
+        }
+    }
+
+    /// Shared-memory *data* throughput in bytes per shader cycle per SM for
+    /// the given access width.
+    pub fn lds_data_throughput(&self, width: LdsWidth) -> f64 {
+        self.lds_inst_throughput(width) * f64::from(width.bytes())
+    }
+
+    /// The measured *mixed* thread-instruction throughput for a main loop of
+    /// `ratio` FFMA per one LDS of `width` (Figure 2 / Section 4.2).
+    ///
+    /// This is an analytic pipe model: in steady state a group of
+    /// `ratio + 1` instructions needs
+    /// `max(issue cycles, SP cycles, LD/ST cycles)` per warp, with the
+    /// per-pipe costs taken from the measured peaks above, then derated by
+    /// the small measured issue inefficiency (Fermi 6:1 LDS.64 measures 30.4
+    /// against an ideal 32).
+    pub fn mixed_throughput(&self, ratio: u32, width: LdsWidth) -> f64 {
+        self.mixed_throughput_ideal(ratio, width) * self.mix_efficiency(width)
+    }
+
+    /// The *ideal* mixed throughput from the pipe model alone, before the
+    /// measured derating of [`ThroughputTable::mixed_throughput`]. The
+    /// upper-bound model uses a more optimistic derating than the steady
+    /// measurement (the paper quotes 30.4 as measured for the Fermi 6:1
+    /// LDS.64 mix in Section 4.2 but uses 30.8 — "close to 32" — in the
+    /// Section 4.5 bound).
+    pub fn mixed_throughput_ideal(&self, ratio: u32, width: LdsWidth) -> f64 {
+        let ratio = f64::from(ratio);
+        let group = ratio + 1.0;
+        // Cycles consumed per group of (ratio FFMA + 1 LDS) warp insts,
+        // normalized to thread instructions: each pipe processes at its peak.
+        let ffma_cycles = ratio * 32.0 / self.ffma_peak();
+        let lds_cycles = 32.0 / self.lds_inst_throughput(width);
+        let issue_peak = match self.generation {
+            Generation::Gt200 => 16.0,
+            Generation::Fermi => 32.0,
+            Generation::Kepler => 132.0,
+        };
+        let issue_cycles = group * 32.0 / issue_peak;
+        // The SP and LD/ST pipes drain in parallel; the group takes as long
+        // as its most loaded resource (issue, SP, or LD/ST).
+        let cycles = issue_cycles.max(ffma_cycles).max(lds_cycles);
+        group * 32.0 / cycles
+    }
+
+    /// Measured derating of the mixed throughput against the ideal pipe
+    /// model. Calibrated from the paper's quoted points: Fermi 6:1 ratios
+    /// 31.3 (LDS), 30.4 (LDS.64), 24.5 (LDS.128 at 12:1); Kepler 122.4
+    /// (LDS.64 at 6:1) and 119.9 (LDS.128 at 12:1).
+    fn mix_efficiency(&self, width: LdsWidth) -> f64 {
+        match (self.generation, width) {
+            (Generation::Fermi, LdsWidth::B32) => 0.978,
+            (Generation::Fermi, LdsWidth::B64) => 0.95,
+            (Generation::Fermi, LdsWidth::B128) => 0.942,
+            (Generation::Kepler, LdsWidth::B32) => 0.95,
+            (Generation::Kepler, LdsWidth::B64) => 0.927,
+            (Generation::Kepler, LdsWidth::B128) => 0.908,
+            (Generation::Gt200, _) => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fermi() -> ThroughputTable {
+        ThroughputTable::for_generation(Generation::Fermi)
+    }
+
+    fn kepler() -> ThroughputTable {
+        ThroughputTable::for_generation(Generation::Kepler)
+    }
+
+    #[test]
+    fn lds_width_properties() {
+        assert_eq!(LdsWidth::B32.bytes(), 4);
+        assert_eq!(LdsWidth::B64.words(), 2);
+        assert_eq!(LdsWidth::B128.suffix(), ".128");
+    }
+
+    #[test]
+    fn fermi_lds_data_rates_match_section_4_1() {
+        let t = fermi();
+        // LDS.64 does not increase the data throughput over LDS (64 B/cycle).
+        assert_eq!(
+            t.lds_data_throughput(LdsWidth::B32),
+            t.lds_data_throughput(LdsWidth::B64)
+        );
+        // LDS.128 is a throughput loss.
+        assert!(t.lds_data_throughput(LdsWidth::B128) < t.lds_data_throughput(LdsWidth::B64));
+    }
+
+    #[test]
+    fn kepler_lds_data_rates_match_section_4_1() {
+        let t = kepler();
+        // 32-bit LDS halves the data throughput vs LDS.64.
+        let r = t.lds_data_throughput(LdsWidth::B32) / t.lds_data_throughput(LdsWidth::B64);
+        assert!((r - 0.5).abs() < 1e-9);
+        // LDS.128 introduces no data-rate penalty.
+        let r128 = t.lds_data_throughput(LdsWidth::B128) / t.lds_data_throughput(LdsWidth::B64);
+        assert!((r128 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fermi_mixed_throughput_matches_section_4_2() {
+        let t = fermi();
+        // Paper: with 6-register blocking, overall SM throughputs are
+        // 31.3 (LDS, 3:1), 30.4 (LDS.64, 6:1), 24.5 (LDS.128, 12:1).
+        assert!((t.mixed_throughput(3, LdsWidth::B32) - 31.3).abs() < 0.2);
+        assert!((t.mixed_throughput(6, LdsWidth::B64) - 30.4).abs() < 0.2);
+        assert!((t.mixed_throughput(12, LdsWidth::B128) - 24.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn kepler_mixed_throughput_matches_section_4_5() {
+        let t = kepler();
+        // Paper Section 4.5 uses 122.4 (LDS.64, 6:1) and 119.9 (LDS.128, 12:1).
+        assert!((t.mixed_throughput(6, LdsWidth::B64) - 122.4).abs() < 0.5);
+        assert!((t.mixed_throughput(12, LdsWidth::B128) - 119.9).abs() < 0.6);
+    }
+
+    #[test]
+    fn mixed_throughput_saturates_with_ratio() {
+        for table in [fermi(), kepler()] {
+            for width in LdsWidth::ALL {
+                let mut last = 0.0;
+                for ratio in 1..32 {
+                    let cur = table.mixed_throughput(ratio, width);
+                    assert!(
+                        cur + 1e-9 >= last,
+                        "{:?} {:?} ratio {} dropped: {} < {}",
+                        table.generation(),
+                        width,
+                        ratio,
+                        cur,
+                        last
+                    );
+                    last = cur;
+                }
+                assert!(last <= table.ffma_peak() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_conflict_levels() {
+        let t = kepler();
+        assert!(t.ffma_two_way_conflict() < t.ffma_peak());
+        assert!(t.ffma_three_way_conflict() < t.ffma_two_way_conflict());
+        assert!(t.ffma_reuse_peak() > t.ffma_peak());
+        // 2-way conflict is ~50% of peak, 3-way ~33%.
+        assert!((t.ffma_two_way_conflict() / t.ffma_peak() - 0.5).abs() < 0.02);
+        assert!((t.ffma_three_way_conflict() / t.ffma_peak() - 1.0 / 3.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,95 @@
+//! Regenerate the paper's tables and figures on the simulator.
+//!
+//! ```text
+//! reproduce [--full] <experiment>...
+//! reproduce all            # everything (quick mode unless --full)
+//! ```
+//!
+//! Experiments: `table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//! upperbound achieved`.
+
+use std::process::ExitCode;
+
+use peakperf_bench::experiments::{self, Speed};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reproduce [--full] <experiment>...\n\
+         experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 \
+         upperbound achieved ablation optimizer throughputdb all"
+    );
+    ExitCode::FAILURE
+}
+
+fn run_one(name: &str, speed: Speed) -> Result<String, String> {
+    let out = match name {
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2().map_err(|e| e.to_string())?,
+        "fig2" => experiments::fig2(speed).map_err(|e| e.to_string())?,
+        "fig3" => experiments::fig3(),
+        "fig4" => experiments::fig4(speed).map_err(|e| e.to_string())?,
+        "fig5" => experiments::fig5(speed).map_err(|e| e.to_string())?,
+        "fig6" => experiments::fig6(speed).map_err(|e| e.to_string())?,
+        "fig7" => experiments::fig7(speed).map_err(|e| e.to_string())?,
+        "fig8" => experiments::fig8().map_err(|e| e.to_string())?,
+        "fig9" => experiments::fig9().map_err(|e| e.to_string())?,
+        "upperbound" => experiments::upperbound(),
+        "ablation" => experiments::ablation(),
+        "optimizer" => experiments::optimizer(speed).map_err(|e| e.to_string())?,
+        "throughputdb" => experiments::throughput_db().map_err(|e| e.to_string())?,
+        "achieved" => experiments::achieved(speed).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown experiment `{other}`")),
+    };
+    Ok(out)
+}
+
+const ALL: [&str; 15] = [
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "upperbound",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "achieved",
+    "ablation",
+    "optimizer",
+    "throughputdb",
+];
+
+fn main() -> ExitCode {
+    let mut speed = Speed::Quick;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => speed = Speed::Full,
+            "--quick" => speed = Speed::Quick,
+            "-h" | "--help" => return usage(),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        return usage();
+    }
+    if names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for name in &names {
+        let started = std::time::Instant::now();
+        match run_one(name, speed) {
+            Ok(out) => {
+                println!("{out}");
+                eprintln!("[{name} done in {:.1?}]", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error in {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,204 @@
+//! `sassc` — the command-line face of the toolchain, playing the role
+//! `asfermi` plays in the paper: assemble, disassemble, validate, and run
+//! SASS-like kernels.
+//!
+//! ```text
+//! sassc as  <input.sass> <output.bin> [--gen fermi|kepler]   assemble
+//! sassc dis <input.bin>                                      disassemble
+//! sassc run <input.sass> <kernel> [--gen g] [--blocks N] [--threads N]
+//!           [--param <u32|f32:X|buf:N>]...                   assemble + run
+//! ```
+//!
+//! Buffer parameters (`buf:N`) allocate N zeroed f32 elements; after the
+//! run their first values are printed.
+
+use std::process::ExitCode;
+
+use peakperf_arch::Generation;
+use peakperf_sass::{assemble, validate_kernel, Module};
+use peakperf_sim::{Gpu, LaunchConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sassc as  <in.sass> <out.bin> [--gen fermi|kepler]\n  \
+         sassc dis <in.bin>\n  \
+         sassc run <in.sass> <kernel> [--gen g] [--blocks N] [--threads N] \
+         [--param u32|f32:X|buf:N]..."
+    );
+    ExitCode::FAILURE
+}
+
+struct RunOpts {
+    generation: Generation,
+    blocks: u32,
+    threads: u32,
+    params: Vec<ParamSpec>,
+}
+
+enum ParamSpec {
+    Scalar(u32),
+    Buffer(u32),
+}
+
+fn parse_param(s: &str) -> Result<ParamSpec, String> {
+    if let Some(n) = s.strip_prefix("buf:") {
+        return n
+            .parse()
+            .map(ParamSpec::Buffer)
+            .map_err(|_| format!("bad buffer size `{n}`"));
+    }
+    if let Some(f) = s.strip_prefix("f32:") {
+        return f
+            .parse::<f32>()
+            .map(|v| ParamSpec::Scalar(v.to_bits()))
+            .map_err(|_| format!("bad f32 `{f}`"));
+    }
+    if let Some(hex) = s.strip_prefix("0x") {
+        return u32::from_str_radix(hex, 16)
+            .map(ParamSpec::Scalar)
+            .map_err(|_| format!("bad hex `{s}`"));
+    }
+    s.parse()
+        .map(ParamSpec::Scalar)
+        .map_err(|_| format!("bad parameter `{s}`"))
+}
+
+fn cmd_as(input: &str, output: &str, generation: Generation) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let module = assemble(&text, generation).map_err(|e| e.to_string())?;
+    for kernel in &module.kernels {
+        validate_kernel(kernel, generation).map_err(|e| format!("{}: {e}", kernel.name))?;
+        eprintln!(
+            "kernel `{}`: {} instructions, {} registers, {} B shared",
+            kernel.name,
+            kernel.code.len(),
+            kernel.num_regs,
+            kernel.shared_bytes
+        );
+    }
+    let bytes = module.to_bytes().map_err(|e| e.to_string())?;
+    std::fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    eprintln!("wrote {} bytes to {output}", bytes.len());
+    Ok(())
+}
+
+fn cmd_dis(input: &str) -> Result<(), String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let module = Module::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    print!("{module}");
+    Ok(())
+}
+
+fn cmd_run(input: &str, kernel_name: &str, opts: &RunOpts) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let module = assemble(&text, opts.generation).map_err(|e| e.to_string())?;
+    let kernel = module
+        .kernel(kernel_name)
+        .ok_or_else(|| format!("no kernel `{kernel_name}` in {input}"))?;
+
+    let mut gpu = Gpu::new(opts.generation);
+    let mut values = Vec::new();
+    let mut buffers = Vec::new();
+    for p in &opts.params {
+        match p {
+            ParamSpec::Scalar(v) => values.push(*v),
+            ParamSpec::Buffer(n) => {
+                let addr = gpu
+                    .memory_mut()
+                    .alloc_zeroed(n * 4)
+                    .map_err(|e| e.to_string())?;
+                values.push(addr);
+                buffers.push((addr, *n));
+            }
+        }
+    }
+    let stats = gpu
+        .launch(
+            kernel,
+            LaunchConfig::linear(opts.blocks, opts.threads),
+            &values,
+        )
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "ran `{kernel_name}`: {} warp instructions, {} thread instructions, {} flops",
+        stats.warp_instructions, stats.thread_instructions, stats.flops
+    );
+    eprintln!("instruction mix:\n{}", stats.mix);
+    for (i, (addr, n)) in buffers.iter().enumerate() {
+        let show = (*n).min(8) as usize;
+        let vals = gpu
+            .memory()
+            .read_f32_slice(*addr, show)
+            .map_err(|e| e.to_string())?;
+        println!("buffer {i} (first {show} of {n}): {vals:?}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut generation = Generation::Fermi;
+    let mut blocks = 1u32;
+    let mut threads = 32u32;
+    let mut params = Vec::new();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("");
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gen" => match it.next().map(String::as_str) {
+                Some(g) => match g.parse() {
+                    Ok(g) => generation = g,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => return usage(),
+            },
+            "--blocks" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => blocks = n,
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage(),
+            },
+            "--param" => match it.next().map(|s| parse_param(s)) {
+                Some(Ok(p)) => params.push(p),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+                None => return usage(),
+            },
+            other => positional.push(other),
+        }
+    }
+
+    let result = match (cmd, positional.as_slice()) {
+        ("as", [input, output]) => cmd_as(input, output, generation),
+        ("dis", [input]) => cmd_dis(input),
+        ("run", [input, kernel]) => cmd_run(
+            input,
+            kernel,
+            &RunOpts {
+                generation,
+                blocks,
+                threads,
+                params,
+            },
+        ),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

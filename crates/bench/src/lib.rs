@@ -1,0 +1,9 @@
+//! The benchmark harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] produces the same rows/series the
+//! paper reports, printed next to the paper's reference values. The
+//! `reproduce` binary exposes them as subcommands; the Criterion benches
+//! under `benches/` exercise the same entry points.
+
+pub mod experiments;
+pub mod report;

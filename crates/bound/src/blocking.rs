@@ -1,0 +1,69 @@
+//! Register blocking and the FFMA instruction percentage (Figure 3).
+
+use peakperf_arch::LdsWidth;
+
+/// The FFMA : LDS.X instruction ratio of the SGEMM main loop with register
+/// blocking factor `br`.
+///
+/// Each main-loop stage computes a `br × br` outer product (`br²` FFMAs)
+/// and must fetch `2·br` floats from shared memory, which takes
+/// `2·br / width.words()` LDS.X instructions; the ratio is therefore
+/// `br · width.words() / 2`.
+///
+/// For `br = 6`: 3:1 with LDS, 6:1 with LDS.64, 12:1 with LDS.128
+/// (Section 4.2).
+pub fn ffma_lds_ratio(br: u32, width: LdsWidth) -> f64 {
+    f64::from(br) * f64::from(width.words()) / 2.0
+}
+
+/// The percentage of FFMA instructions in the SGEMM main loop (Figure 3):
+/// `br² / (br² + 2·br/width.words())`.
+///
+/// For `br = 6`: 75 % (LDS), 85.7 % (LDS.64), 92.3 % (LDS.128).
+pub fn ffma_fraction(br: u32, width: LdsWidth) -> f64 {
+    let ffma = f64::from(br * br);
+    let lds = 2.0 * f64::from(br) / f64::from(width.words());
+    ffma / (ffma + lds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_section_4_2() {
+        assert_eq!(ffma_lds_ratio(6, LdsWidth::B32), 3.0);
+        assert_eq!(ffma_lds_ratio(6, LdsWidth::B64), 6.0);
+        assert_eq!(ffma_lds_ratio(6, LdsWidth::B128), 12.0);
+    }
+
+    #[test]
+    fn fractions_match_figure_3() {
+        assert!((ffma_fraction(6, LdsWidth::B32) - 0.75).abs() < 1e-9);
+        assert!((ffma_fraction(6, LdsWidth::B64) - 0.857).abs() < 1e-3);
+        assert!((ffma_fraction(6, LdsWidth::B128) - 0.923).abs() < 1e-3);
+    }
+
+    #[test]
+    fn worst_case_without_blocking() {
+        // Section 4.2: without register reuse, 2 LDS feed 1 FFMA -> only
+        // 1/3 of instructions are floating point.
+        assert!((ffma_fraction(1, LdsWidth::B32) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_grows_with_blocking_and_width() {
+        for width in LdsWidth::ALL {
+            let mut last = 0.0;
+            for br in 1..=14 {
+                let f = ffma_fraction(br, width);
+                assert!(f > last);
+                last = f;
+            }
+        }
+        for br in 2..=14 {
+            assert!(ffma_fraction(br, LdsWidth::B64) > ffma_fraction(br, LdsWidth::B32));
+            assert!(ffma_fraction(br, LdsWidth::B128) > ffma_fraction(br, LdsWidth::B64));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The resource constraints of Section 4.4 (Equations 1-5).
+
+use peakperf_arch::{GpuConfig, LdsWidth};
+
+/// A candidate SGEMM configuration: the critical parameters the analysis
+/// identifies (Sections 4.4-4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgemmConfig {
+    /// Register blocking factor `B_R`.
+    pub br: u32,
+    /// Threads per block `T_B`.
+    pub tb: u32,
+    /// The k-stride `L` of the shared-memory tiles.
+    pub l: u32,
+    /// LDS width used in the main loop.
+    pub width: LdsWidth,
+}
+
+impl SgemmConfig {
+    /// The paper's Fermi configuration: 6-register blocking, 256 threads
+    /// per block, stride 16, LDS.64.
+    pub fn paper_fermi() -> SgemmConfig {
+        SgemmConfig {
+            br: 6,
+            tb: 256,
+            l: 16,
+            width: LdsWidth::B64,
+        }
+    }
+
+    /// The paper's best Kepler configuration: as Fermi but LDS.128.
+    pub fn paper_kepler() -> SgemmConfig {
+        SgemmConfig {
+            br: 6,
+            tb: 256,
+            l: 16,
+            width: LdsWidth::B128,
+        }
+    }
+
+    /// The shared-memory block edge `B_Sh = sqrt(T_B) * B_R`
+    /// (96 for the paper's configuration).
+    pub fn bsh(&self) -> u32 {
+        (self.tb as f64).sqrt().round() as u32 * self.br
+    }
+}
+
+/// Equation 3: the stride `L` must let each thread load the same amount of
+/// data: `(sqrt(T_B) * B_R * L) % T_B == 0`.
+pub fn stride_is_valid(config: &SgemmConfig) -> bool {
+    let root = (config.tb as f64).sqrt().round() as u32;
+    if root * root != config.tb {
+        return false;
+    }
+    (root * config.br * config.l) % config.tb == 0
+}
+
+/// Equation 4 (strict form): per-thread registers required with
+/// prefetching — `B_R² + 2·sqrt(T_B)·B_R·L/T_B + B_R + 1 + R_addr`, with
+/// `R_addr = 7` (Section 5.2). The width-specific operand count of the
+/// concrete implementation is in [`registers_detailed`].
+pub fn registers_required(config: &SgemmConfig) -> u32 {
+    let root = (config.tb as f64).sqrt().round() as u32;
+    let prefetch = 2 * root * config.br * config.l / config.tb;
+    config.br * config.br + prefetch + config.br + 1 + 7
+}
+
+/// The Section 5.2 detailed register allocation: like
+/// [`registers_required`] but counting the real B-operand registers of the
+/// chosen LDS width (2 for `LDS.64`), which makes the paper's Fermi
+/// configuration land on exactly 63 registers.
+pub fn registers_detailed(config: &SgemmConfig) -> u32 {
+    let root = (config.tb as f64).sqrt().round() as u32;
+    let prefetch = 2 * root * config.br * config.l / config.tb;
+    config.br * config.br + prefetch + config.br + config.width.words() + 7
+}
+
+/// Equation 5 (per block): shared memory for the double tile,
+/// `2 · sqrt(T_B) · B_R · L · 4` bytes.
+pub fn shared_bytes_per_block(config: &SgemmConfig) -> u32 {
+    let root = (config.tb as f64).sqrt().round() as u32;
+    2 * root * config.br * config.l * 4
+}
+
+/// The largest register blocking factor whose strict budget (Equation 4)
+/// fits in `max_regs` registers for the given `tb`, `l`, and width.
+///
+/// For the Fermi/GK104 limit of 63 with the paper's `T_B = 256`, `L = 16`:
+/// returns 6 — "because of the hard limit of 63 registers per thread ...
+/// the maximum blocking factor is only 6" (Section 4.5).
+pub fn max_blocking_factor(max_regs: u32, tb: u32, l: u32, width: LdsWidth) -> u32 {
+    (1..=16)
+        .filter(|&br| {
+            let cfg = SgemmConfig { br, tb, l, width };
+            registers_required(&cfg) <= max_regs
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Equation 1 occupancy check plus Equation 5: blocks and threads that fit
+/// on one SM for a configuration. Returns `(blocks, threads)` or `None` if
+/// even one block does not fit.
+pub fn occupancy(gpu: &GpuConfig, config: &SgemmConfig) -> Option<(u32, u32)> {
+    let regs = registers_required(config);
+    let shared = shared_bytes_per_block(config);
+    gpu.occupancy()
+        .occupancy(regs, shared, config.tb)
+        .map(|o| (o.blocks_per_sm, o.threads_per_sm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fermi_budget_is_exactly_63() {
+        // Section 5.2: 36 + 12 + 6 + 2 + 7 = 63 registers.
+        let cfg = SgemmConfig::paper_fermi();
+        assert_eq!(registers_detailed(&cfg), 63);
+        assert_eq!(registers_required(&cfg), 62);
+        assert!(stride_is_valid(&cfg));
+        assert_eq!(cfg.bsh(), 96);
+        // A+B tiles: 2 * 96 * 16 floats = 12 KiB.
+        assert_eq!(shared_bytes_per_block(&cfg), 12 * 1024);
+    }
+
+    #[test]
+    fn max_blocking_factor_is_6_on_fermi() {
+        assert_eq!(max_blocking_factor(63, 256, 16, LdsWidth::B64), 6);
+        // GT200's 127-register budget would allow more.
+        assert!(max_blocking_factor(127, 256, 16, LdsWidth::B64) > 6);
+    }
+
+    #[test]
+    fn stride_validity_matches_equation_3() {
+        // With TB=256, BR=6: sqrt(TB)*BR = 96, L must make 96*L % 256 == 0
+        // -> L in {8, 16, 24, ...} (Section 4.5).
+        for l in [8u32, 16, 24, 32] {
+            let cfg = SgemmConfig {
+                br: 6,
+                tb: 256,
+                l,
+                width: LdsWidth::B64,
+            };
+            assert!(stride_is_valid(&cfg), "L={l}");
+        }
+        let cfg = SgemmConfig {
+            br: 6,
+            tb: 256,
+            l: 4,
+            width: LdsWidth::B64,
+        };
+        assert!(!stride_is_valid(&cfg));
+        // Non-square block sizes are rejected.
+        let cfg = SgemmConfig {
+            br: 6,
+            tb: 200,
+            l: 16,
+            width: LdsWidth::B64,
+        };
+        assert!(!stride_is_valid(&cfg));
+    }
+
+    #[test]
+    fn occupancy_matches_section_4_5() {
+        let fermi = GpuConfig::gtx580();
+        let (blocks, threads) = occupancy(&fermi, &SgemmConfig::paper_fermi()).unwrap();
+        assert_eq!((blocks, threads), (2, 512));
+        let kepler = GpuConfig::gtx680();
+        let (blocks, threads) = occupancy(&kepler, &SgemmConfig::paper_kepler()).unwrap();
+        assert_eq!(threads, 1024);
+        assert_eq!(blocks, 4);
+    }
+
+    #[test]
+    fn oversized_configs_do_not_fit() {
+        let fermi = GpuConfig::gtx580();
+        let cfg = SgemmConfig {
+            br: 8,
+            tb: 256,
+            l: 16,
+            width: LdsWidth::B64,
+        };
+        // 8*8 + 16 + 8 + 1 + 7 = 96 > 63.
+        assert!(occupancy(&fermi, &cfg).is_none());
+    }
+}

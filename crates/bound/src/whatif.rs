@@ -1,0 +1,128 @@
+//! What-if ablations over the architectural constraints.
+//!
+//! The paper's introduction points out that the Tesla K20X (GK110) raises
+//! the per-thread register limit from 63 to 255 and documents ~73 % SGEMM
+//! efficiency. This module asks the model the corresponding questions:
+//! *how much of the SGEMM gap is the 63-register encoding limit?* and *how
+//! much is the issue-throughput ceiling?* — the two factors Section 4.5
+//! names as the main limiters.
+
+use peakperf_arch::{GpuConfig, LdsWidth};
+
+use crate::constraints::{registers_required, shared_bytes_per_block, stride_is_valid, SgemmConfig};
+use crate::model::UpperBoundModel;
+
+/// The bound under a hypothetical per-thread register limit.
+#[derive(Debug, Clone)]
+pub struct RegisterLimitPoint {
+    /// The register limit assumed.
+    pub max_regs: u32,
+    /// Best feasible blocking factor under that limit.
+    pub best_br: u32,
+    /// Best bound as a fraction of theoretical peak.
+    pub fraction_of_peak: f64,
+    /// The winning configuration.
+    pub config: SgemmConfig,
+}
+
+/// Sweep hypothetical per-thread register limits (e.g. 63 for Fermi/GK104
+/// vs 255 for GK110) and report the best achievable SGEMM bound for each.
+///
+/// Occupancy is still constrained by the SM's register file and shared
+/// memory; only the ISA encoding limit changes — this isolates the effect
+/// the paper attributes to "the nature of the Fermi (Kepler) instruction
+/// set".
+pub fn register_limit_sweep(gpu: &GpuConfig, limits: &[u32]) -> Vec<RegisterLimitPoint> {
+    let model = UpperBoundModel::new(gpu);
+    limits
+        .iter()
+        .map(|&max_regs| {
+            let mut best: Option<RegisterLimitPoint> = None;
+            for br in 1..=16u32 {
+                for tb in [64u32, 144, 256, 576, 1024] {
+                    for l in [8u32, 16, 24, 32] {
+                        for width in LdsWidth::ALL {
+                            let config = SgemmConfig { br, tb, l, width };
+                            if !stride_is_valid(&config) {
+                                continue;
+                            }
+                            let regs = registers_required(&config);
+                            if regs > max_regs {
+                                continue;
+                            }
+                            // At least 128 resident threads (4 warps) to
+                            // have any latency hiding at all.
+                            let threads_fit = gpu.registers_per_sm / regs.max(1);
+                            if threads_fit < 128 || tb > threads_fit {
+                                continue;
+                            }
+                            if shared_bytes_per_block(&config) > gpu.shared_mem_per_sm {
+                                continue;
+                            }
+                            // Reuse the model's Equation 8/6 math directly
+                            // (occupancy was checked by hand above because
+                            // the architectural limit differs).
+                            let sm = model.sm_bound_fraction(&config);
+                            let mem = model.mem_bound_gflops(&config)
+                                / gpu.theoretical_peak_gflops();
+                            let fraction = sm.min(mem);
+                            if best
+                                .as_ref()
+                                .is_none_or(|b| fraction > b.fraction_of_peak)
+                            {
+                                best = Some(RegisterLimitPoint {
+                                    max_regs,
+                                    best_br: br,
+                                    fraction_of_peak: fraction,
+                                    config,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            best.expect("some configuration is always feasible")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_registers_raise_the_bound() {
+        let gpu = GpuConfig::gtx680();
+        let points = register_limit_sweep(&gpu, &[63, 127, 255]);
+        assert_eq!(points.len(), 3);
+        // GK110-style 255 registers allow a larger blocking factor and a
+        // strictly better bound than the 63-register encoding.
+        assert!(points[0].best_br <= points[1].best_br);
+        assert!(points[1].fraction_of_peak >= points[0].fraction_of_peak);
+        assert!(points[2].fraction_of_peak > points[0].fraction_of_peak);
+        assert!(points[2].best_br > 6);
+    }
+
+    #[test]
+    fn the_63_limit_reproduces_the_paper_br() {
+        let gpu = GpuConfig::gtx580();
+        let points = register_limit_sweep(&gpu, &[63]);
+        assert_eq!(points[0].best_br, 6);
+        assert!((points[0].fraction_of_peak - 0.825).abs() < 0.01);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_the_register_limit() {
+        let gpu = GpuConfig::gtx580();
+        let limits = [40u32, 63, 96, 127, 191, 255];
+        let points = register_limit_sweep(&gpu, &limits);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].fraction_of_peak + 1e-9 >= pair[0].fraction_of_peak,
+                "{} -> {}",
+                pair[0].max_regs,
+                pair[1].max_regs
+            );
+        }
+    }
+}

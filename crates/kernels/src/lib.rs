@@ -1,0 +1,27 @@
+//! Kernel generators: the SGEMM implementations of Section 5 and the
+//! microbenchmarks of Sections 3-4.
+//!
+//! Everything here emits SASS-like kernels through
+//! [`peakperf_sass::KernelBuilder`] and runs on the simulator in
+//! `peakperf-sim`:
+//!
+//! * [`sgemm`] — the register-blocked assembly SGEMM (NN/NT/TN/TT variants,
+//!   6×6 blocking, 256-thread blocks, single-buffered shared tiles with two
+//!   barriers per k-tile, full prefetching through registers — Sections
+//!   4.5/5), plus the degraded presets used as baselines: a `cublas-like`
+//!   build (no prefetch interleaving, nvcc-style register assignment on
+//!   Kepler) and a `magma-like` build (register spills + bank conflicts,
+//!   Figure 8), and a naive one-thread-per-element kernel;
+//! * [`microbench`] — the instruction-throughput microbenchmarks: math
+//!   instructions with chosen operand register indices (Table 2), FFMA +
+//!   LDS.X mixes (Figure 2), and the active-thread sweep with dependent or
+//!   independent operands (Figure 4);
+//! * [`cpu`] — a CPU reference GEMM used as the correctness oracle;
+//! * [`matrix`] — host-side matrix helpers (generation, upload, compare).
+
+pub mod cpu;
+pub mod matrix;
+pub mod microbench;
+pub mod sgemm;
+
+pub use peakperf_arch::Generation;

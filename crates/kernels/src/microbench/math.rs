@@ -1,0 +1,295 @@
+//! Math-instruction throughput with chosen operand register indices
+//! (Table 2).
+//!
+//! The paper's benchmark: each thread executes 8192 copies of one math
+//! instruction (4 independent instances unrolled 2048 times), 1024 threads
+//! per block, enough blocks to keep the GPU busy. The operand register
+//! *indices* are the experiment: on Kepler, distinct source registers that
+//! share a register-file bank halve (2 on one bank) or third (3 on one
+//! bank) the throughput.
+
+use peakperf_arch::{Generation, GpuConfig};
+use peakperf_sass::{CmpOp, CtlInfo, Kernel, KernelBuilder, Operand, Pred, Reg};
+use peakperf_sim::SimError;
+
+use super::{run_on_sm, throughput_of};
+
+/// The math operation being measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathOp {
+    /// `FADD dst, a, b`.
+    Fadd,
+    /// `FMUL dst, a, b`.
+    Fmul,
+    /// `FFMA dst, a, b, c`.
+    Ffma,
+    /// `IADD dst, a, b`.
+    Iadd,
+    /// `IMUL dst, a, b`.
+    Imul,
+    /// `IMAD dst, a, b, c`.
+    Imad,
+}
+
+impl MathOp {
+    /// Mnemonic for reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MathOp::Fadd => "FADD",
+            MathOp::Fmul => "FMUL",
+            MathOp::Ffma => "FFMA",
+            MathOp::Iadd => "IADD",
+            MathOp::Imul => "IMUL",
+            MathOp::Imad => "IMAD",
+        }
+    }
+
+    fn has_three_sources(self) -> bool {
+        matches!(self, MathOp::Ffma | MathOp::Imad)
+    }
+}
+
+/// One row of Table 2: an operation plus concrete operand registers.
+///
+/// `dst` aliasing a source (e.g. `FADD R0, R1, R0`) is part of the pattern;
+/// bank conflicts are determined by the *distinct* source registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MathPattern {
+    /// The operation.
+    pub op: MathOp,
+    /// Destination register.
+    pub dst: Reg,
+    /// First source.
+    pub a: Reg,
+    /// Second source.
+    pub b: Reg,
+    /// Third source (FFMA/IMAD only; ignored otherwise).
+    pub c: Reg,
+}
+
+impl MathPattern {
+    /// Render like the paper: `FFMA R0, R1, R4, R5`.
+    pub fn label(&self) -> String {
+        if self.op.has_three_sources() {
+            format!(
+                "{} {}, {}, {}, {}",
+                self.op.mnemonic(),
+                self.dst,
+                self.a,
+                self.b,
+                self.c
+            )
+        } else {
+            format!("{} {}, {}, {}", self.op.mnemonic(), self.dst, self.a, self.b)
+        }
+    }
+
+    fn emit(&self, b: &mut KernelBuilder, dst: Reg) {
+        match self.op {
+            MathOp::Fadd => {
+                b.fadd(dst, self.a, Operand::Reg(self.b));
+            }
+            MathOp::Fmul => {
+                b.fmul(dst, self.a, Operand::Reg(self.b));
+            }
+            MathOp::Ffma => {
+                b.ffma(dst, self.a, Operand::Reg(self.b), self.c);
+            }
+            MathOp::Iadd => {
+                b.iadd(dst, self.a, Operand::Reg(self.b));
+            }
+            MathOp::Imul => {
+                b.imul(dst, self.a, Operand::Reg(self.b));
+            }
+            MathOp::Imad => {
+                b.imad(dst, self.a, Operand::Reg(self.b), self.c);
+            }
+        }
+    }
+}
+
+/// The exact pattern set of Table 2.
+pub fn table2_patterns() -> Vec<MathPattern> {
+    let r = Reg::r;
+    let p = |op, dst, a, b, c| MathPattern {
+        op,
+        dst: r(dst),
+        a: r(a),
+        b: r(b),
+        c: r(c),
+    };
+    vec![
+        p(MathOp::Fadd, 0, 1, 0, 0),
+        p(MathOp::Fadd, 0, 1, 2, 0),
+        p(MathOp::Fadd, 0, 1, 3, 0),
+        p(MathOp::Fmul, 0, 1, 0, 0),
+        p(MathOp::Fmul, 0, 1, 2, 0),
+        p(MathOp::Fmul, 0, 1, 3, 0),
+        p(MathOp::Ffma, 0, 1, 4, 0),
+        p(MathOp::Ffma, 0, 1, 4, 5),
+        p(MathOp::Ffma, 0, 1, 3, 5),
+        p(MathOp::Ffma, 0, 1, 3, 9),
+        p(MathOp::Iadd, 0, 1, 0, 0),
+        p(MathOp::Iadd, 0, 1, 2, 0),
+        p(MathOp::Iadd, 0, 1, 3, 0),
+        p(MathOp::Imul, 0, 1, 0, 0),
+        p(MathOp::Imul, 0, 1, 2, 0),
+        p(MathOp::Imul, 0, 1, 3, 0),
+        p(MathOp::Imad, 0, 1, 4, 0),
+        p(MathOp::Imad, 0, 1, 4, 5),
+        p(MathOp::Imad, 0, 1, 3, 5),
+        p(MathOp::Imad, 0, 1, 3, 9),
+    ]
+}
+
+/// Build the throughput kernel for one pattern: `unroll` independent
+/// instances per loop iteration (destinations rotate over four registers
+/// well away from the pattern's sources, so every instance is
+/// independent), `iters` iterations.
+///
+/// # Errors
+///
+/// Propagates builder failures.
+pub fn build_math_kernel(
+    generation: Generation,
+    pattern: &MathPattern,
+    unroll: u32,
+    iters: u32,
+) -> Result<Kernel, SimError> {
+    let mut b = KernelBuilder::new(
+        format!("tp_{}", pattern.op.mnemonic().to_lowercase()),
+        generation,
+    );
+    // Initialize source registers (R0..R15 covers all patterns).
+    for i in 0..16u8 {
+        b.mov_f32(Reg::r(i), 1.0 + f32::from(i) / 16.0);
+    }
+    let counter = Reg::r(30);
+    b.mov32i(counter, iters);
+    let top = b.label_here();
+    for k in 0..unroll {
+        // Rotate destinations over R24..R27 unless the pattern aliases the
+        // destination onto a source — then keep it, to preserve the
+        // dependence structure of the original benchmark.
+        let dst = if pattern.dst == pattern.a
+            || pattern.dst == pattern.b
+            || (pattern.op.has_three_sources() && pattern.dst == pattern.c)
+        {
+            pattern.dst
+        } else {
+            Reg::r(24 + (k % 4) as u8)
+        };
+        if generation.uses_control_notation() {
+            b.with_ctl(CtlInfo::stall(1));
+        }
+        pattern.emit(&mut b, dst);
+    }
+    b.iadd(counter, counter, -1);
+    b.isetp(Pred::p(0), CmpOp::Gt, counter, 0);
+    b.bra_if(Pred::p(0), false, top);
+    b.exit();
+    b.finish().map_err(SimError::from)
+}
+
+/// One measured row: the pattern and its thread-instruction throughput per
+/// shader cycle per SM.
+#[derive(Debug, Clone)]
+pub struct MathThroughput {
+    /// The pattern measured.
+    pub pattern: MathPattern,
+    /// Thread instructions per shader cycle per SM.
+    pub throughput: f64,
+}
+
+/// Measure one pattern on a GPU (saturating resident threads).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_math(gpu: &GpuConfig, pattern: &MathPattern) -> Result<MathThroughput, SimError> {
+    let kernel = build_math_kernel(gpu.generation, pattern, 128, 24)?;
+    let threads = 1024.min(gpu.max_threads_per_block);
+    let blocks = (gpu.max_threads_per_sm / threads).min(2).max(1);
+    let report = run_on_sm(gpu, &kernel, threads, blocks)?;
+    Ok(MathThroughput {
+        pattern: *pattern,
+        throughput: throughput_of(&report, pattern.op.mnemonic()),
+    })
+}
+
+/// Measure the full Table 2 set.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_table2(gpu: &GpuConfig) -> Result<Vec<MathThroughput>, SimError> {
+    table2_patterns()
+        .iter()
+        .map(|p| measure_math(gpu, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler() -> GpuConfig {
+        GpuConfig::gtx680()
+    }
+
+    fn tp(pattern: MathPattern) -> f64 {
+        measure_math(&kepler(), &pattern).unwrap().throughput
+    }
+
+    fn find(op: MathOp, b: u8, c: u8) -> MathPattern {
+        *table2_patterns()
+            .iter()
+            .find(|p| p.op == op && p.b == Reg::r(b) && p.c == Reg::r(c))
+            .unwrap()
+    }
+
+    #[test]
+    fn ffma_conflict_free_reaches_132() {
+        let t = tp(find(MathOp::Ffma, 4, 5));
+        assert!((120.0..=136.0).contains(&t), "FFMA R0,R1,R4,R5 -> {t}");
+    }
+
+    #[test]
+    fn ffma_two_way_conflict_halves() {
+        let t = tp(find(MathOp::Ffma, 3, 5));
+        assert!((60.0..=70.0).contains(&t), "FFMA R0,R1,R3,R5 -> {t}");
+    }
+
+    #[test]
+    fn ffma_three_way_conflict_thirds() {
+        let t = tp(find(MathOp::Ffma, 3, 9));
+        assert!((40.0..=48.0).contains(&t), "FFMA R0,R1,R3,R9 -> {t}");
+    }
+
+    #[test]
+    fn imad_runs_at_quarter_rate() {
+        let t = tp(find(MathOp::Imad, 4, 5));
+        assert!((30.0..=36.0).contains(&t), "IMAD R0,R1,R4,R5 -> {t}");
+        // 2-way conflict is hidden under the 4x cost...
+        let t2 = tp(find(MathOp::Imad, 3, 5));
+        assert!((30.0..=36.0).contains(&t2), "IMAD R0,R1,R3,R5 -> {t2}");
+        // ...but a 3-way conflict shows (26.5 in Table 2).
+        let t3 = tp(find(MathOp::Imad, 3, 9));
+        assert!((24.0..=29.0).contains(&t3), "IMAD R0,R1,R3,R9 -> {t3}");
+    }
+
+    #[test]
+    fn fermi_ffma_saturates_its_32() {
+        let fermi = GpuConfig::gtx580();
+        let p = find(MathOp::Ffma, 4, 5);
+        let t = measure_math(&fermi, &p).unwrap().throughput;
+        assert!((28.0..=32.5).contains(&t), "Fermi FFMA -> {t}");
+    }
+
+    #[test]
+    fn patterns_cover_table2() {
+        assert_eq!(table2_patterns().len(), 20);
+        let p = find(MathOp::Ffma, 3, 9);
+        assert_eq!(p.label(), "FFMA R0, R1, R3, R9");
+    }
+}

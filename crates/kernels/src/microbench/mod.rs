@@ -1,0 +1,52 @@
+//! Assembly-level microbenchmarks (Sections 3.3 and 4 of the paper).
+//!
+//! Each generator produces a kernel that saturates one SM of the simulated
+//! GPU with a specific instruction pattern; the cycle-level engine then
+//! measures thread-instruction throughput exactly the way the paper
+//! measured silicon:
+//!
+//! * [`math`] — math-instruction throughput for chosen operand register
+//!   indices (Table 2: bank conflicts, operand reuse, the IMUL path);
+//! * [`mix`] — FFMA/LDS.X mixing curves (Figure 2);
+//! * [`threads`] — the active-thread sweep with dependent or independent
+//!   operands (Figure 4).
+
+pub mod family;
+pub mod math;
+pub mod mix;
+pub mod threads;
+
+use peakperf_arch::GpuConfig;
+use peakperf_sass::Kernel;
+use peakperf_sim::timing::{TimingReport, TimingSim};
+use peakperf_sim::{GlobalMemory, LaunchConfig, SimError};
+
+/// Run a microbenchmark kernel on one SM with `blocks` resident blocks of
+/// `threads` threads and return the timing report.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_on_sm(
+    gpu: &GpuConfig,
+    kernel: &Kernel,
+    threads: u32,
+    blocks: u32,
+) -> Result<TimingReport, SimError> {
+    let mut memory = GlobalMemory::new();
+    let mut sim = TimingSim::new(
+        gpu,
+        kernel,
+        LaunchConfig::linear(blocks, threads),
+        &[],
+        blocks,
+    )?;
+    sim.run(&mut memory)
+}
+
+/// Thread-instruction throughput (per shader cycle per SM) of the
+/// instructions whose mnemonic starts with `prefix`, excluding loop
+/// overhead.
+pub fn throughput_of(report: &TimingReport, prefix: &str) -> f64 {
+    report.mix.count_prefix(prefix) as f64 * 32.0 / report.cycles.max(1) as f64
+}

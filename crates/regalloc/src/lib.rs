@@ -1,0 +1,34 @@
+//! Register-bank conflict analysis and bank-aware register allocation for
+//! Kepler (Section 5.4 of the paper).
+//!
+//! On GK104 the register file is split into four banks
+//! ([`peakperf_arch::register_bank`]); an `FFMA` whose distinct source
+//! registers share a bank loses half (2-way) or two-thirds (3-way) of its
+//! issue throughput (Table 2). The paper shows that ~30 % of the FFMAs in
+//! the nvcc-compiled MAGMA SGEMM have a 2-way conflict, and that a careful
+//! manual allocation removes all conflicts (Figures 8 and 9).
+//!
+//! This crate provides both halves of that story:
+//!
+//! * [`analyze_ffma_conflicts`] — the static analysis behind Figure 8;
+//! * [`AllocProblem`] / [`solve`] — a constraint solver that assigns
+//!   physical registers subject to bank-distinctness groups (FFMA source
+//!   triples), wide-load alignment (`LDS.64`/`LDS.128` destinations), and
+//!   pinned registers;
+//! * [`SgemmPlan`] — the 6×6-blocking register plan of Figure 9, produced
+//!   by the solver ([`SgemmPlan::bank_optimized`]) or by the naive
+//!   sequential assignment ([`SgemmPlan::naive`]) that exhibits the
+//!   conflicts the paper measured in its first implementation;
+//! * [`optimize_banks`] — the automatic version (Section 5.5): a
+//!   semantics-preserving register renaming that removes the conflicts
+//!   from an existing binary.
+
+mod alloc;
+mod conflict;
+mod plan;
+mod rewrite;
+
+pub use alloc::{solve, AllocProblem, RegAllocError, VReg};
+pub use conflict::{analyze_ffma_conflicts, ffma_conflict_ways, ConflictReport};
+pub use plan::SgemmPlan;
+pub use rewrite::{apply_mapping, optimize_banks, RewriteOutcome};

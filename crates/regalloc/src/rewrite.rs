@@ -1,0 +1,389 @@
+//! Automatic bank-conflict removal on existing binaries (the "simple
+//! solution" the paper proposes in Sections 5.4-5.5 for optimizers and
+//! auto-tuning tools).
+//!
+//! The transformation is a *bijective register renaming*: every physical
+//! register of the kernel is renamed by one global permutation. A
+//! permutation preserves every data dependence (it is applied to
+//! definitions and uses alike), so the rewritten kernel is semantically
+//! identical — only the register *indices*, and therefore the Kepler bank
+//! assignment, change. The permutation is chosen by the same backtracking
+//! solver used for the hand allocation:
+//!
+//! * every FFMA's distinct source registers should land on distinct banks;
+//! * registers accessed by wide loads/stores (`.64`/`.128`) must stay
+//!   consecutive and aligned;
+//! * `RZ` and unused registers are untouched.
+
+use std::collections::HashMap;
+
+use peakperf_sass::{Instruction, Kernel, MemWidth, Op, Operand, Reg};
+
+use crate::{analyze_ffma_conflicts, solve, AllocProblem, ConflictReport, RegAllocError, VReg};
+
+/// Outcome of [`optimize_banks`].
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The rewritten kernel.
+    pub kernel: Kernel,
+    /// FFMA conflict census before the rewrite.
+    pub before: ConflictReport,
+    /// FFMA conflict census after the rewrite.
+    pub after: ConflictReport,
+    /// The register permutation that was applied (old index → new).
+    pub mapping: HashMap<Reg, Reg>,
+}
+
+fn remap(map: &HashMap<Reg, Reg>, r: Reg) -> Reg {
+    if r.is_rz() {
+        r
+    } else {
+        *map.get(&r).unwrap_or(&r)
+    }
+}
+
+fn remap_operand(map: &HashMap<Reg, Reg>, o: Operand) -> Operand {
+    match o {
+        Operand::Reg(r) => Operand::Reg(remap(map, r)),
+        other => other,
+    }
+}
+
+/// Apply a register mapping to every instruction of a code stream.
+///
+/// Registers not present in the map are left unchanged; `RZ` is never
+/// renamed. Wide accesses are renamed through their base register (the
+/// caller must supply a mapping that keeps wide groups consecutive — as
+/// [`optimize_banks`] does).
+pub fn apply_mapping(code: &[Instruction], map: &HashMap<Reg, Reg>) -> Vec<Instruction> {
+    code.iter()
+        .map(|inst| {
+            let op = match inst.op {
+                Op::Nop | Op::Exit | Op::Bar | Op::Bra { .. } => inst.op,
+                Op::Mov { dst, src } => Op::Mov {
+                    dst: remap(map, dst),
+                    src: remap_operand(map, src),
+                },
+                Op::Mov32i { dst, imm } => Op::Mov32i {
+                    dst: remap(map, dst),
+                    imm,
+                },
+                Op::S2r { dst, sr } => Op::S2r {
+                    dst: remap(map, dst),
+                    sr,
+                },
+                Op::Fadd { dst, a, b } => Op::Fadd {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Fmul { dst, a, b } => Op::Fmul {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Ffma { dst, a, b, c } => Op::Ffma {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                    c: remap(map, c),
+                },
+                Op::Iadd { dst, a, b } => Op::Iadd {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Imul { dst, a, b } => Op::Imul {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Imad { dst, a, b, c } => Op::Imad {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                    c: remap(map, c),
+                },
+                Op::Iscadd { dst, a, b, shift } => Op::Iscadd {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                    shift,
+                },
+                Op::Shl { dst, a, b } => Op::Shl {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Shr { dst, a, b } => Op::Shr {
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Lop { op, dst, a, b } => Op::Lop {
+                    op,
+                    dst: remap(map, dst),
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Isetp { p, cmp, a, b } => Op::Isetp {
+                    p,
+                    cmp,
+                    a: remap(map, a),
+                    b: remap_operand(map, b),
+                },
+                Op::Ld {
+                    space,
+                    width,
+                    dst,
+                    addr,
+                    offset,
+                } => Op::Ld {
+                    space,
+                    width,
+                    dst: remap(map, dst),
+                    addr: remap(map, addr),
+                    offset,
+                },
+                Op::St {
+                    space,
+                    width,
+                    src,
+                    addr,
+                    offset,
+                } => Op::St {
+                    space,
+                    width,
+                    src: remap(map, src),
+                    addr: remap(map, addr),
+                    offset,
+                },
+                Op::Ldc { dst, bank, offset } => Op::Ldc {
+                    dst: remap(map, dst),
+                    bank,
+                    offset,
+                },
+            };
+            Instruction {
+                pred: inst.pred,
+                pred_neg: inst.pred_neg,
+                op,
+            }
+        })
+        .collect()
+}
+
+/// Collect the wide-access groups of a kernel: each `.64`/`.128` load or
+/// store pins `width.words()` consecutive registers.
+fn wide_groups(code: &[Instruction]) -> Vec<Vec<Reg>> {
+    let mut groups: Vec<Vec<Reg>> = Vec::new();
+    let mut push = |base: Reg, width: MemWidth| {
+        if width == MemWidth::B32 || base.is_rz() {
+            return;
+        }
+        let group: Vec<Reg> = (0..width.words() as u8).map(|i| base.offset(i)).collect();
+        if !groups.contains(&group) {
+            groups.push(group);
+        }
+    };
+    for inst in code {
+        match inst.op {
+            Op::Ld { width, dst, .. } => push(dst, width),
+            Op::St { width, src, .. } => push(src, width),
+            _ => {}
+        }
+    }
+    groups
+}
+
+/// Rename the registers of `kernel` so that its main-loop FFMAs become
+/// bank-conflict-free (best effort), preserving semantics exactly.
+///
+/// This is the automatic counterpart of the paper's hand allocation: run
+/// it on an nvcc-like binary and the ~30 % conflicted FFMAs of Figure 8
+/// disappear.
+///
+/// # Errors
+///
+/// Returns [`RegAllocError::Unsatisfiable`] when no permutation satisfies
+/// all FFMA groups together with the wide-access alignment pins. (This can
+/// happen for kernels whose wide groups overlap FFMA operands in
+/// incompatible ways; callers may then fall back to the original kernel.)
+pub fn optimize_banks(kernel: &Kernel) -> Result<RewriteOutcome, RegAllocError> {
+    let before = analyze_ffma_conflicts(&kernel.code);
+
+    // Virtual register per physical register in use.
+    let mut used: Vec<Reg> = Vec::new();
+    for inst in &kernel.code {
+        for r in inst.op.def_regs().into_iter().chain(inst.op.use_regs()) {
+            if !r.is_rz() && !used.contains(&r) {
+                used.push(r);
+            }
+        }
+    }
+    used.sort_unstable();
+    let index_of: HashMap<Reg, usize> = used.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+
+    let mut problem = AllocProblem::new(used.len());
+    for group in wide_groups(&kernel.code) {
+        let vgroup: Vec<VReg> = group
+            .iter()
+            .filter_map(|r| index_of.get(r).map(|&i| VReg(i)))
+            .collect();
+        if vgroup.len() == group.len() {
+            problem.require_wide(&vgroup);
+        }
+    }
+    let mut seen_triples: Vec<Vec<VReg>> = Vec::new();
+    for inst in &kernel.code {
+        if let Op::Ffma { a, b, c, .. } = inst.op {
+            let mut distinct: Vec<Reg> = Vec::new();
+            for r in [Some(a), b.as_reg(), Some(c)].into_iter().flatten() {
+                if !r.is_rz() && !distinct.contains(&r) {
+                    distinct.push(r);
+                }
+            }
+            if distinct.len() < 2 {
+                continue;
+            }
+            let vgroup: Vec<VReg> = distinct.iter().map(|r| VReg(index_of[r])).collect();
+            if !seen_triples.contains(&vgroup) {
+                seen_triples.push(vgroup.clone());
+                problem.require_distinct_banks(&vgroup);
+            }
+        }
+    }
+
+    let assignment = solve(&problem)?;
+    let mapping: HashMap<Reg, Reg> = used
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, assignment[&VReg(i)]))
+        .collect();
+
+    let mut rewritten = kernel.clone();
+    rewritten.code = apply_mapping(&kernel.code, &mapping);
+    rewritten.num_regs = rewritten
+        .code
+        .iter()
+        .flat_map(|i| i.op.def_regs().into_iter().chain(i.op.use_regs()))
+        .map(|r| u32::from(r.index()) + 1)
+        .max()
+        .unwrap_or(0)
+        .max(kernel.num_regs.min(63));
+    let after = analyze_ffma_conflicts(&rewritten.code);
+    Ok(RewriteOutcome {
+        kernel: rewritten,
+        before,
+        after,
+        mapping,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peakperf_sass::{MemSpace, Operand};
+
+    fn ffma(dst: u8, a: u8, b: u8, c: u8) -> Instruction {
+        Instruction::new(Op::Ffma {
+            dst: Reg::r(dst),
+            a: Reg::r(a),
+            b: Operand::reg(b),
+            c: Reg::r(c),
+        })
+    }
+
+    #[test]
+    fn conflicted_triples_are_fixed() {
+        let mut kernel = Kernel::new("t");
+        // R1, R3, R9 all on odd0 — the worst Table 2 case.
+        kernel.code = vec![
+            ffma(0, 1, 3, 9),
+            ffma(2, 1, 3, 5),
+            Instruction::new(Op::Exit),
+        ];
+        kernel.num_regs = 10;
+        let out = optimize_banks(&kernel).unwrap();
+        assert!(out.before.three_way == 1 && out.before.two_way == 1);
+        assert_eq!(out.after.free, 2);
+        assert_eq!(out.after.two_way + out.after.three_way, 0);
+    }
+
+    #[test]
+    fn renaming_preserves_dependences() {
+        let mut kernel = Kernel::new("t");
+        kernel.code = vec![
+            Instruction::new(Op::Mov32i {
+                dst: Reg::r(1),
+                imm: 7,
+            }),
+            Instruction::new(Op::Iadd {
+                dst: Reg::r(3),
+                a: Reg::r(1),
+                b: Operand::Imm(1),
+            }),
+            ffma(5, 1, 3, 9),
+            Instruction::new(Op::Exit),
+        ];
+        kernel.num_regs = 10;
+        let out = optimize_banks(&kernel).unwrap();
+        // The def-use chain Mov32i -> Iadd -> Ffma must still reference the
+        // same renamed registers.
+        let r1 = out.mapping[&Reg::r(1)];
+        let r3 = out.mapping[&Reg::r(3)];
+        match out.kernel.code[0].op {
+            Op::Mov32i { dst, .. } => assert_eq!(dst, r1),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match out.kernel.code[1].op {
+            Op::Iadd { dst, a, .. } => {
+                assert_eq!(dst, r3);
+                assert_eq!(a, r1);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_groups_stay_aligned() {
+        let mut kernel = Kernel::new("t");
+        kernel.code = vec![
+            Instruction::new(Op::Ld {
+                space: MemSpace::Shared,
+                width: MemWidth::B64,
+                dst: Reg::r(6),
+                addr: Reg::r(20),
+                offset: 0,
+            }),
+            ffma(0, 6, 7, 9),
+            Instruction::new(Op::Exit),
+        ];
+        kernel.num_regs = 21;
+        kernel.shared_bytes = 64;
+        let out = optimize_banks(&kernel).unwrap();
+        let base = out.mapping[&Reg::r(6)];
+        let hi = out.mapping[&Reg::r(7)];
+        assert_eq!(base.index() % 2, 0);
+        assert_eq!(hi.index(), base.index() + 1);
+        match out.kernel.code[0].op {
+            Op::Ld { dst, .. } => assert_eq!(dst, base),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mapping_is_injective() {
+        let mut kernel = Kernel::new("t");
+        kernel.code = (0..12u8)
+            .map(|i| ffma(i, (i + 1) % 12, (i + 2) % 12, (i + 3) % 12))
+            .chain(std::iter::once(Instruction::new(Op::Exit)))
+            .collect();
+        kernel.num_regs = 12;
+        let out = optimize_banks(&kernel).unwrap();
+        let mut targets: Vec<u8> = out.mapping.values().map(|r| r.index()).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), out.mapping.len());
+    }
+}

@@ -1,0 +1,288 @@
+//! The Kepler control notation (Section 3.2 of the paper).
+//!
+//! Kepler (GK104) binaries embed static scheduling information: before each
+//! group of 7 instructions, the compiler places a 64-bit word of the form
+//! `0xXXXXXXX7 0x2XXXXXXX` — the low nibble `0x7` and the high nibble `0x2`
+//! are identifiers, and the 56 bits in between are split into 7 fields of
+//! 8 bits, one per following instruction. NVIDIA never disclosed the field
+//! encoding; the paper (like this reproduction) uses a best-effort model:
+//! per-instruction fields carrying a stall count, a yield hint and a
+//! dual-issue flag.
+//!
+//! Our field layout (8 bits per instruction):
+//!
+//! ```text
+//!   bits 0..4  stall   cycles to wait after issuing this instruction (0..15)
+//!   bit  4     yield   prefer switching to another warp after this issue
+//!   bit  5     dual    this instruction may dual-issue with its successor
+//!   bits 6..8  reserved (kept zero; reserved bits round-trip)
+//! ```
+
+use std::fmt;
+
+use crate::SassError;
+
+/// Number of instructions covered by one control word.
+pub const GROUP: usize = 7;
+
+/// Scheduling control information for a single instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtlInfo {
+    /// Cycles the scheduler must wait after issuing this instruction before
+    /// issuing the next instruction of the same warp (0..=15).
+    pub stall: u8,
+    /// Hint: deprioritize this warp after issue.
+    pub yield_hint: bool,
+    /// This instruction may be dual-issued with its successor.
+    pub dual: bool,
+}
+
+impl CtlInfo {
+    /// The neutral control field: no stall, no hints.
+    pub const NONE: CtlInfo = CtlInfo {
+        stall: 0,
+        yield_hint: false,
+        dual: false,
+    };
+
+    /// A plain stall of `n` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn stall(n: u8) -> CtlInfo {
+        assert!(n <= 15, "stall count {n} exceeds 4-bit field");
+        CtlInfo {
+            stall: n,
+            yield_hint: false,
+            dual: false,
+        }
+    }
+
+    /// Pack into the 8-bit field.
+    pub fn to_byte(self) -> u8 {
+        (self.stall & 0xF) | (u8::from(self.yield_hint) << 4) | (u8::from(self.dual) << 5)
+    }
+
+    /// Unpack from the 8-bit field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SassError::Decode`] if reserved bits are set.
+    pub fn from_byte(b: u8) -> Result<CtlInfo, SassError> {
+        if b & 0xC0 != 0 {
+            return Err(SassError::Decode {
+                offset: 0,
+                message: format!("reserved control bits set in {b:#04x}"),
+            });
+        }
+        Ok(CtlInfo {
+            stall: b & 0xF,
+            yield_hint: b & 0x10 != 0,
+            dual: b & 0x20 != 0,
+        })
+    }
+}
+
+impl Default for CtlInfo {
+    fn default() -> CtlInfo {
+        CtlInfo::NONE
+    }
+}
+
+impl fmt::Display for CtlInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stall={}", self.stall)?;
+        if self.yield_hint {
+            f.write_str(" yield")?;
+        }
+        if self.dual {
+            f.write_str(" dual")?;
+        }
+        Ok(())
+    }
+}
+
+/// A packed control word covering up to [`GROUP`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtlWord(pub u64);
+
+/// Low-nibble identifier of a control word.
+const LOW_ID: u64 = 0x7;
+/// High-nibble identifier of a control word.
+const HIGH_ID: u64 = 0x2;
+
+impl CtlWord {
+    /// Pack up to 7 per-instruction fields into a control word
+    /// (`0x2XXXXXXX_XXXXXXX7` as a little-endian u64, matching the
+    /// `0xXXXXXXX7 0x2XXXXXXX` two-word form the paper prints).
+    ///
+    /// Missing trailing fields (when the final group is short) are packed as
+    /// [`CtlInfo::NONE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields.len() > 7`.
+    pub fn pack(fields: &[CtlInfo]) -> CtlWord {
+        assert!(fields.len() <= GROUP, "control group longer than 7");
+        let mut w: u64 = LOW_ID | (HIGH_ID << 60);
+        for (i, info) in fields.iter().enumerate() {
+            w |= u64::from(info.to_byte()) << (4 + 8 * i);
+        }
+        CtlWord(w)
+    }
+
+    /// Whether a raw 64-bit word carries the control-word identifiers.
+    pub fn is_ctl(raw: u64) -> bool {
+        raw & 0xF == LOW_ID && raw >> 60 == HIGH_ID
+    }
+
+    /// Unpack the 7 per-instruction fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SassError::Decode`] if the identifiers are wrong or a field
+    /// has reserved bits set.
+    pub fn unpack(self) -> Result<[CtlInfo; GROUP], SassError> {
+        if !CtlWord::is_ctl(self.0) {
+            return Err(SassError::Decode {
+                offset: 0,
+                message: format!("word {:#018x} lacks control identifiers", self.0),
+            });
+        }
+        let mut out = [CtlInfo::NONE; GROUP];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = CtlInfo::from_byte(((self.0 >> (4 + 8 * i)) & 0xFF) as u8)?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for CtlWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print as the paper does: two 32-bit halves, low half first.
+        write!(
+            f,
+            "{:#010x} {:#010x}",
+            self.0 & 0xFFFF_FFFF,
+            self.0 >> 32
+        )
+    }
+}
+
+/// Interleave per-instruction control info into the word stream: one
+/// [`CtlWord`] before each group of 7 instruction fields.
+pub fn pack_stream(fields: &[CtlInfo]) -> Vec<CtlWord> {
+    fields.chunks(GROUP).map(CtlWord::pack).collect()
+}
+
+/// Recover per-instruction control info for `n_insts` instructions from the
+/// packed words.
+///
+/// # Errors
+///
+/// Returns [`SassError::Decode`] if there are too few words or any word is
+/// malformed.
+pub fn unpack_stream(words: &[CtlWord], n_insts: usize) -> Result<Vec<CtlInfo>, SassError> {
+    let needed = n_insts.div_ceil(GROUP);
+    if words.len() < needed {
+        return Err(SassError::Decode {
+            offset: 0,
+            message: format!(
+                "{} control words cannot cover {} instructions",
+                words.len(),
+                n_insts
+            ),
+        });
+    }
+    let mut out = Vec::with_capacity(n_insts);
+    for (g, word) in words.iter().take(needed).enumerate() {
+        let fields = word.unpack()?;
+        let remaining = n_insts - g * GROUP;
+        out.extend_from_slice(&fields[..remaining.min(GROUP)]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        for stall in 0..16 {
+            for yh in [false, true] {
+                for dual in [false, true] {
+                    let info = CtlInfo {
+                        stall,
+                        yield_hint: yh,
+                        dual,
+                    };
+                    assert_eq!(CtlInfo::from_byte(info.to_byte()).unwrap(), info);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        assert!(CtlInfo::from_byte(0x40).is_err());
+        assert!(CtlInfo::from_byte(0x80).is_err());
+    }
+
+    #[test]
+    fn word_identifiers_match_paper_format() {
+        let w = CtlWord::pack(&[CtlInfo::stall(2); 7]);
+        // Low nibble 0x7, high nibble 0x2 — the 0x...7 0x2... pattern.
+        assert_eq!(w.0 & 0xF, 0x7);
+        assert_eq!(w.0 >> 60, 0x2);
+        assert!(CtlWord::is_ctl(w.0));
+        assert!(!CtlWord::is_ctl(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let fields = [
+            CtlInfo::stall(1),
+            CtlInfo::NONE,
+            CtlInfo {
+                stall: 4,
+                yield_hint: true,
+                dual: false,
+            },
+            CtlInfo {
+                stall: 0,
+                yield_hint: false,
+                dual: true,
+            },
+            CtlInfo::stall(15),
+            CtlInfo::NONE,
+            CtlInfo::stall(7),
+        ];
+        let w = CtlWord::pack(&fields);
+        assert_eq!(w.unpack().unwrap(), fields);
+    }
+
+    #[test]
+    fn stream_round_trip_with_partial_group() {
+        let fields: Vec<CtlInfo> = (0..17).map(|i| CtlInfo::stall(i % 16)).collect();
+        let words = pack_stream(&fields);
+        assert_eq!(words.len(), 3);
+        let back = unpack_stream(&words, 17).unwrap();
+        assert_eq!(back, fields);
+    }
+
+    #[test]
+    fn stream_undersupply_is_error() {
+        let words = pack_stream(&[CtlInfo::NONE; 7]);
+        assert!(unpack_stream(&words, 8).is_err());
+    }
+
+    #[test]
+    fn display_prints_two_halves() {
+        let w = CtlWord::pack(&[CtlInfo::NONE; 7]);
+        let s = w.to_string();
+        assert!(s.starts_with("0x"));
+        assert!(s.contains(' '));
+    }
+}

@@ -1,0 +1,191 @@
+//! A predicated instruction and its textual form.
+
+use std::fmt;
+
+use crate::{Op, Pred};
+
+/// One SASS instruction: an operation under an optional predicate guard.
+///
+/// The `Display` implementation produces the canonical assembly text that
+/// [`crate::assemble`] parses back, e.g. `@!P0 FFMA R8, R4, R5, R8;`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// Guard predicate: the instruction only executes in lanes where the
+    /// predicate (negated if `pred_neg`) is true. `None` means always
+    /// execute.
+    pub pred: Option<Pred>,
+    /// Whether the guard is negated (`@!P0`).
+    pub pred_neg: bool,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Instruction {
+    /// An unpredicated instruction.
+    pub fn new(op: Op) -> Instruction {
+        Instruction {
+            pred: None,
+            pred_neg: false,
+            op,
+        }
+    }
+
+    /// A predicated instruction (`@Pp op` or `@!Pp op`).
+    pub fn predicated(pred: Pred, negated: bool, op: Op) -> Instruction {
+        Instruction {
+            pred: Some(pred),
+            pred_neg: negated,
+            op,
+        }
+    }
+}
+
+impl From<Op> for Instruction {
+    fn from(op: Op) -> Instruction {
+        Instruction::new(op)
+    }
+}
+
+fn fmt_offset(f: &mut fmt::Formatter<'_>, offset: i32) -> fmt::Result {
+    if offset > 0 {
+        write!(f, "+{offset:#x}")
+    } else if offset < 0 {
+        write!(f, "-{:#x}", -(i64::from(offset)))
+    } else {
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = self.pred {
+            if self.pred_neg {
+                write!(f, "@!{p} ")?;
+            } else {
+                write!(f, "@{p} ")?;
+            }
+        }
+        use crate::Op::*;
+        match &self.op {
+            Nop => write!(f, "NOP;"),
+            Exit => write!(f, "EXIT;"),
+            Bra { target } => write!(f, "BRA {target:#x};"),
+            Bar => write!(f, "BAR.SYNC;"),
+            Mov { dst, src } => write!(f, "MOV {dst}, {src};"),
+            Mov32i { dst, imm } => write!(f, "MOV32I {dst}, {imm:#x};"),
+            S2r { dst, sr } => write!(f, "S2R {dst}, {};", sr.name()),
+            Fadd { dst, a, b } => write!(f, "FADD {dst}, {a}, {b};"),
+            Fmul { dst, a, b } => write!(f, "FMUL {dst}, {a}, {b};"),
+            Ffma { dst, a, b, c } => write!(f, "FFMA {dst}, {a}, {b}, {c};"),
+            Iadd { dst, a, b } => write!(f, "IADD {dst}, {a}, {b};"),
+            Imul { dst, a, b } => write!(f, "IMUL {dst}, {a}, {b};"),
+            Imad { dst, a, b, c } => write!(f, "IMAD {dst}, {a}, {b}, {c};"),
+            Iscadd { dst, a, b, shift } => {
+                write!(f, "ISCADD {dst}, {a}, {b}, {shift:#x};")
+            }
+            Shl { dst, a, b } => write!(f, "SHL {dst}, {a}, {b};"),
+            Shr { dst, a, b } => write!(f, "SHR {dst}, {a}, {b};"),
+            Lop { op, dst, a, b } => write!(f, "LOP.{} {dst}, {a}, {b};", op.suffix()),
+            Isetp { p, cmp, a, b } => {
+                write!(f, "ISETP.{} {p}, {a}, {b};", cmp.suffix())
+            }
+            Ld {
+                space,
+                width,
+                dst,
+                addr,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "{}{} {dst}, [{addr}",
+                    space.load_mnemonic(),
+                    width.suffix()
+                )?;
+                fmt_offset(f, *offset)?;
+                write!(f, "];")
+            }
+            St {
+                space,
+                width,
+                src,
+                addr,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "{}{} [{addr}",
+                    space.store_mnemonic(),
+                    width.suffix()
+                )?;
+                fmt_offset(f, *offset)?;
+                write!(f, "], {src};")
+            }
+            Ldc { dst, bank, offset } => {
+                write!(f, "LDC {dst}, c[{bank:#x}][{offset:#x}];")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, MemSpace, MemWidth, Operand, Reg};
+
+    #[test]
+    fn display_matches_sass_style() {
+        let i = Instruction::new(Op::Ffma {
+            dst: Reg::r(8),
+            a: Reg::r(4),
+            b: Operand::reg(5),
+            c: Reg::r(8),
+        });
+        assert_eq!(i.to_string(), "FFMA R8, R4, R5, R8;");
+
+        let i = Instruction::predicated(
+            Pred::p(0),
+            true,
+            Op::Bra { target: 0x10 },
+        );
+        assert_eq!(i.to_string(), "@!P0 BRA 0x10;");
+
+        let i = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B64,
+            dst: Reg::r(6),
+            addr: Reg::r(20),
+            offset: 8,
+        });
+        assert_eq!(i.to_string(), "LDS.64 R6, [R20+0x8];");
+
+        let i = Instruction::new(Op::St {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            src: Reg::r(2),
+            addr: Reg::r(3),
+            offset: -4,
+        });
+        assert_eq!(i.to_string(), "STS [R3-0x4], R2;");
+
+        let i = Instruction::new(Op::Isetp {
+            p: Pred::p(1),
+            cmp: CmpOp::Ge,
+            a: Reg::r(18),
+            b: Operand::Imm(16),
+        });
+        assert_eq!(i.to_string(), "ISETP.GE P1, R18, 0x10;");
+    }
+
+    #[test]
+    fn zero_offset_is_elided() {
+        let i = Instruction::new(Op::Ld {
+            space: MemSpace::Global,
+            width: MemWidth::B128,
+            dst: Reg::r(12),
+            addr: Reg::r(16),
+            offset: 0,
+        });
+        assert_eq!(i.to_string(), "LD.128 R12, [R16];");
+    }
+}

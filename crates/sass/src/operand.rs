@@ -1,0 +1,146 @@
+//! Source operands for ALU instructions.
+
+use std::fmt;
+
+use crate::{Reg, SassError};
+
+/// The maximum signed immediate width of the generic ALU encoding.
+pub const IMM_BITS: u32 = 20;
+
+/// A source operand of an ALU instruction: a register, a signed 20-bit
+/// immediate, or a constant-bank location.
+///
+/// Mirrors the Fermi operand model: the *last* register-or-immediate source
+/// slot of an arithmetic instruction may instead name an immediate or a
+/// `c[bank][offset]` constant. Shared memory is deliberately *not* an
+/// operand kind — that restriction is the core of the paper's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A signed immediate; must fit in 20 bits.
+    Imm(i32),
+    /// A 32-bit word in a constant bank (`c[bank][offset]`); `offset` is a
+    /// byte offset and must be 4-byte aligned.
+    Const {
+        /// Constant bank index (0..=15). Bank 0 holds kernel parameters.
+        bank: u8,
+        /// Byte offset within the bank (0..=0xFFFC, 4-byte aligned).
+        offset: u32,
+    },
+}
+
+impl Operand {
+    /// Shorthand for a register operand.
+    pub fn reg(index: u8) -> Operand {
+        Operand::Reg(Reg::r(index))
+    }
+
+    /// The register if this operand is one.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Check the operand's encodability constraints.
+    ///
+    /// # Errors
+    ///
+    /// [`SassError::ImmediateOutOfRange`] if an immediate exceeds 20 signed
+    /// bits; [`SassError::ConstOutOfRange`] if a constant operand is
+    /// misaligned or outside the 16-bank / 64 KiB-per-bank space.
+    pub fn check(self) -> Result<(), SassError> {
+        match self {
+            Operand::Reg(_) => Ok(()),
+            Operand::Imm(v) => {
+                let min = -(1 << (IMM_BITS - 1));
+                let max = (1 << (IMM_BITS - 1)) - 1;
+                if i64::from(v) < min || i64::from(v) > max {
+                    Err(SassError::ImmediateOutOfRange {
+                        value: i64::from(v),
+                        bits: IMM_BITS,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Operand::Const { bank, offset } => {
+                if bank > 15 || offset > 0xFFFC || offset % 4 != 0 {
+                    Err(SassError::ConstOutOfRange { bank, offset })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => {
+                if *v < 0 {
+                    write!(f, "-{:#x}", -(i64::from(*v)))
+                } else {
+                    write!(f, "{v:#x}")
+                }
+            }
+            Operand::Const { bank, offset } => write!(f, "c[{bank:#x}][{offset:#x}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_range() {
+        assert!(Operand::Imm(0x7FFFF).check().is_ok());
+        assert!(Operand::Imm(-0x80000).check().is_ok());
+        assert!(Operand::Imm(0x80000).check().is_err());
+        assert!(Operand::Imm(-0x80001).check().is_err());
+    }
+
+    #[test]
+    fn const_constraints() {
+        assert!(Operand::Const { bank: 0, offset: 0x20 }.check().is_ok());
+        assert!(Operand::Const { bank: 0, offset: 0x21 }.check().is_err());
+        assert!(Operand::Const { bank: 16, offset: 0 }.check().is_err());
+        assert!(Operand::Const { bank: 0, offset: 0x10000 }.check().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Operand::reg(7).to_string(), "R7");
+        assert_eq!(Operand::Imm(16).to_string(), "0x10");
+        assert_eq!(Operand::Imm(-4).to_string(), "-0x4");
+        assert_eq!(
+            Operand::Const { bank: 0, offset: 0x24 }.to_string(),
+            "c[0x0][0x24]"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let o: Operand = Reg::r(3).into();
+        assert_eq!(o, Operand::reg(3));
+        let o: Operand = 5i32.into();
+        assert_eq!(o, Operand::Imm(5));
+    }
+}

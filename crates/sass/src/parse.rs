@@ -1,0 +1,896 @@
+//! The text assembler.
+//!
+//! Parses the canonical assembly dialect produced by the `Display`
+//! implementations, plus directives:
+//!
+//! ```text
+//! .kernel <name>      start a new kernel
+//! .regs <n>           registers per thread
+//! .shared <bytes>     static shared memory per block
+//! .local <bytes>      per-thread local (spill) memory
+//! .param <name>       declare the next kernel parameter
+//! .ctl <byte>         control-notation field for the next instruction
+//! <label>:            define a branch label
+//! @P0 / @!P0          predicate guard prefix
+//! ```
+//!
+//! Branch targets may be labels or absolute instruction indices, so
+//! disassembled output re-assembles bit-identically.
+
+use std::collections::HashMap;
+
+use peakperf_arch::Generation;
+
+use crate::ctl::CtlInfo;
+use crate::op::{CmpOp, LogicOp, MemSpace, MemWidth, SpecialReg};
+use crate::{Instruction, Kernel, Module, Op, Operand, Pred, Reg, SassError};
+
+/// Assemble a source text into a [`Module`] for the given generation.
+///
+/// Kepler modules get a control-notation vector (defaulting to
+/// [`CtlInfo::NONE`] per instruction, overridable with `.ctl`).
+///
+/// # Errors
+///
+/// Returns [`SassError::Parse`] with a 1-based line number on syntax errors,
+/// and label-resolution errors for undefined/duplicate labels.
+pub fn assemble(source: &str, generation: Generation) -> Result<Module, SassError> {
+    let mut module = Module::new(generation);
+    let mut state: Option<KernelState> = None;
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let stripped = strip_comment(raw);
+        let line = stripped.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix('.') {
+            parse_directive(rest, lineno, &mut module, &mut state)?;
+        } else if let Some(name) = line.strip_suffix(':') {
+            let st = expect_kernel(&mut state, lineno)?;
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(err(lineno, format!("invalid label name `{name}`")));
+            }
+            if st
+                .labels
+                .insert(name.to_owned(), st.code.len() as u32)
+                .is_some()
+            {
+                return Err(SassError::DuplicateLabel {
+                    name: name.to_owned(),
+                });
+            }
+        } else {
+            let st = expect_kernel(&mut state, lineno)?;
+            let mut cur = Cursor::new(line, lineno);
+            let inst = parse_instruction(&mut cur)?;
+            cur.skip_ws();
+            if !cur.done() {
+                return Err(err(lineno, format!("trailing input `{}`", cur.rest())));
+            }
+            st.code.push(inst);
+            st.ctl.push(st.pending_ctl.take().unwrap_or(CtlInfo::NONE));
+        }
+    }
+    if let Some(st) = state {
+        module.kernels.push(st.finish(generation)?);
+    }
+    if module.kernels.is_empty() {
+        return Err(err(0, "no `.kernel` directive found".to_owned()));
+    }
+    Ok(module)
+}
+
+struct KernelState {
+    kernel: Kernel,
+    code: Vec<PendingInst>,
+    ctl: Vec<CtlInfo>,
+    labels: HashMap<String, u32>,
+    pending_ctl: Option<CtlInfo>,
+}
+
+/// An instruction whose branch target may still be symbolic.
+enum PendingInst {
+    Done(Instruction),
+    Branch {
+        pred: Option<Pred>,
+        pred_neg: bool,
+        target: BranchTarget,
+        line: usize,
+    },
+}
+
+enum BranchTarget {
+    Absolute(u32),
+    Label(String),
+}
+
+impl KernelState {
+    fn new(name: &str) -> KernelState {
+        KernelState {
+            kernel: Kernel::new(name),
+            code: Vec::new(),
+            ctl: Vec::new(),
+            labels: HashMap::new(),
+            pending_ctl: None,
+        }
+    }
+
+    fn finish(self, generation: Generation) -> Result<Kernel, SassError> {
+        let mut kernel = self.kernel;
+        for pending in self.code {
+            let inst = match pending {
+                PendingInst::Done(i) => i,
+                PendingInst::Branch {
+                    pred,
+                    pred_neg,
+                    target,
+                    line,
+                } => {
+                    let target = match target {
+                        BranchTarget::Absolute(t) => t,
+                        BranchTarget::Label(name) => *self.labels.get(&name).ok_or(
+                            SassError::UndefinedLabel { name: name.clone() },
+                        )?,
+                    };
+                    if target as usize > self.ctl.len() {
+                        return Err(err(
+                            line,
+                            format!("branch target {target:#x} is past the end of the kernel"),
+                        ));
+                    }
+                    Instruction {
+                        pred,
+                        pred_neg,
+                        op: Op::Bra { target },
+                    }
+                }
+            };
+            kernel.code.push(inst);
+        }
+        if kernel.num_regs == 0 {
+            // No `.regs` directive: infer the count like the builder does.
+            let highest = kernel
+                .code
+                .iter()
+                .flat_map(|i| {
+                    i.op.def_regs().into_iter().chain(i.op.use_regs())
+                })
+                .map(|r| u32::from(r.index()) + 1)
+                .max()
+                .unwrap_or(0);
+            kernel.num_regs = highest;
+        }
+        kernel.ctl = if generation.uses_control_notation() {
+            Some(self.ctl)
+        } else {
+            None
+        };
+        Ok(kernel)
+    }
+}
+
+fn expect_kernel<'a>(
+    state: &'a mut Option<KernelState>,
+    lineno: usize,
+) -> Result<&'a mut KernelState, SassError> {
+    state
+        .as_mut()
+        .ok_or_else(|| err(lineno, "statement before `.kernel`".to_owned()))
+}
+
+fn parse_directive(
+    rest: &str,
+    lineno: usize,
+    module: &mut Module,
+    state: &mut Option<KernelState>,
+) -> Result<(), SassError> {
+    let (word, arg) = match rest.split_once(char::is_whitespace) {
+        Some((w, a)) => (w, a.trim()),
+        None => (rest, ""),
+    };
+    match word {
+        "kernel" => {
+            if !is_ident(arg) {
+                return Err(err(lineno, format!("invalid kernel name `{arg}`")));
+            }
+            if let Some(prev) = state.take() {
+                module.kernels.push(prev.finish(module.generation)?);
+            }
+            *state = Some(KernelState::new(arg));
+        }
+        "regs" => {
+            expect_kernel(state, lineno)?.kernel.num_regs =
+                parse_u32(arg).ok_or_else(|| err(lineno, "expected register count".to_owned()))?;
+        }
+        "shared" => {
+            expect_kernel(state, lineno)?.kernel.shared_bytes =
+                parse_u32(arg).ok_or_else(|| err(lineno, "expected byte count".to_owned()))?;
+        }
+        "local" => {
+            expect_kernel(state, lineno)?.kernel.local_bytes =
+                parse_u32(arg).ok_or_else(|| err(lineno, "expected byte count".to_owned()))?;
+        }
+        "param" => {
+            if !is_ident(arg) {
+                return Err(err(lineno, format!("invalid parameter name `{arg}`")));
+            }
+            expect_kernel(state, lineno)?.kernel.add_param(arg);
+        }
+        "ctl" => {
+            let byte = parse_u32(arg)
+                .filter(|&v| v <= 0xFF)
+                .ok_or_else(|| err(lineno, "expected control byte".to_owned()))?;
+            let info = CtlInfo::from_byte(byte as u8)
+                .map_err(|e| err(lineno, e.to_string()))?;
+            expect_kernel(state, lineno)?.pending_ctl = Some(info);
+        }
+        other => return Err(err(lineno, format!("unknown directive `.{other}`"))),
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> String {
+    // `//` comments and `/* ... */` (single-line) comments.
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some((_, '/')) => break,
+                Some((_, '*')) => {
+                    chars.next();
+                    let rest = &line[i + 2..];
+                    if let Some(end) = rest.find("*/") {
+                        let skip_to = i + 2 + end + 2;
+                        while let Some(&(j, _)) = chars.peek() {
+                            if j >= skip_to {
+                                break;
+                            }
+                            chars.next();
+                        }
+                        continue;
+                    }
+                    break;
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> SassError {
+    SassError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Character cursor over one statement.
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str, line: usize) -> Cursor<'a> {
+        Cursor { text, pos: 0, line }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), SassError> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(err(
+                self.line,
+                format!("expected `{c}` before `{}`", self.rest()),
+            ))
+        }
+    }
+
+    /// Consume a word: identifier characters plus `.` (mnemonics and
+    /// special-register names contain dots).
+    fn word(&mut self) -> &'a str {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        {
+            self.pos += 1;
+        }
+        &self.text[start..self.pos]
+    }
+
+    fn number_i64(&mut self) -> Result<i64, SassError> {
+        self.skip_ws();
+        let neg = self.eat('-');
+        let start = self.pos;
+        let hex = self.rest().starts_with("0x") || self.rest().starts_with("0X");
+        if hex {
+            self.pos += 2;
+            while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.text[start..self.pos];
+        let value = if hex {
+            i64::from_str_radix(&text[2..], 16)
+        } else {
+            text.parse()
+        }
+        .map_err(|_| err(self.line, format!("invalid number `{text}`")))?;
+        Ok(if neg { -value } else { value })
+    }
+
+    fn number_i32(&mut self) -> Result<i32, SassError> {
+        let v = self.number_i64()?;
+        i32::try_from(v)
+            .or_else(|_| u32::try_from(v).map(|u| u as i32))
+            .map_err(|_| err(self.line, format!("number {v} out of 32-bit range")))
+    }
+
+    fn reg(&mut self) -> Result<Reg, SassError> {
+        self.skip_ws();
+        let w = self.word();
+        if w == "RZ" {
+            return Ok(Reg::RZ);
+        }
+        let idx = w
+            .strip_prefix('R')
+            .and_then(|s| s.parse::<u8>().ok())
+            .ok_or_else(|| err(self.line, format!("expected register, found `{w}`")))?;
+        Reg::new(idx)
+    }
+
+    fn pred(&mut self) -> Result<Pred, SassError> {
+        self.skip_ws();
+        let w = self.word();
+        if w == "PT" {
+            return Ok(Pred::PT);
+        }
+        let idx = w
+            .strip_prefix('P')
+            .and_then(|s| s.parse::<u8>().ok())
+            .ok_or_else(|| err(self.line, format!("expected predicate, found `{w}`")))?;
+        Pred::new(idx)
+    }
+
+    /// Parse a flexible operand: register, immediate, or `c[bank][offset]`.
+    fn operand(&mut self) -> Result<Operand, SassError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('R') => Ok(Operand::Reg(self.reg()?)),
+            Some('c') => {
+                let (bank, offset) = self.const_ref()?;
+                Ok(Operand::Const { bank, offset })
+            }
+            _ => Ok(Operand::Imm(self.number_i32()?)),
+        }
+    }
+
+    fn const_ref(&mut self) -> Result<(u8, u32), SassError> {
+        self.skip_ws();
+        if !self.eat('c') {
+            return Err(err(self.line, "expected constant reference".to_owned()));
+        }
+        self.expect('[')?;
+        let bank = self.number_i64()?;
+        self.expect(']')?;
+        self.expect('[')?;
+        let offset = self.number_i64()?;
+        self.expect(']')?;
+        let bank = u8::try_from(bank)
+            .map_err(|_| err(self.line, format!("constant bank {bank} out of range")))?;
+        let offset = u32::try_from(offset)
+            .map_err(|_| err(self.line, format!("constant offset {offset} out of range")))?;
+        Ok((bank, offset))
+    }
+
+    /// Parse `[Rn]`, `[Rn+0x8]`, or `[Rn-0x8]`.
+    fn mem_addr(&mut self) -> Result<(Reg, i32), SassError> {
+        self.expect('[')?;
+        let base = self.reg()?;
+        self.skip_ws();
+        let offset = if self.eat('+') {
+            self.number_i32()?
+        } else if self.peek() == Some('-') {
+            self.number_i32()?
+        } else {
+            0
+        };
+        self.expect(']')?;
+        Ok((base, offset))
+    }
+}
+
+fn special_reg_by_name(name: &str) -> Option<SpecialReg> {
+    SpecialReg::ALL.iter().copied().find(|s| s.name() == name)
+}
+
+fn cmp_by_suffix(suffix: &str) -> Option<CmpOp> {
+    CmpOp::ALL.iter().copied().find(|c| c.suffix() == suffix)
+}
+
+fn parse_instruction(cur: &mut Cursor<'_>) -> Result<PendingInst, SassError> {
+    cur.skip_ws();
+    let (pred, pred_neg) = if cur.eat('@') {
+        let neg = cur.eat('!');
+        (Some(cur.pred()?), neg)
+    } else {
+        (None, false)
+    };
+
+    let mnemonic = cur.word().to_owned();
+    let line = cur.line;
+    let (base, suffix) = match mnemonic.split_once('.') {
+        Some((b, s)) => (b, Some(s)),
+        None => (mnemonic.as_str(), None),
+    };
+
+    let width_from_suffix = |s: Option<&str>| -> Result<MemWidth, SassError> {
+        match s {
+            None => Ok(MemWidth::B32),
+            Some("64") => Ok(MemWidth::B64),
+            Some("128") => Ok(MemWidth::B128),
+            Some(other) => Err(err(line, format!("invalid width suffix `.{other}`"))),
+        }
+    };
+
+    let op = match base {
+        "NOP" => end(cur, Op::Nop)?,
+        "EXIT" => end(cur, Op::Exit)?,
+        "BAR" => {
+            if suffix != Some("SYNC") {
+                return Err(err(line, "expected `BAR.SYNC`".to_owned()));
+            }
+            end(cur, Op::Bar)?
+        }
+        "BRA" => {
+            cur.skip_ws();
+            let target = if cur.peek().is_some_and(|c| c.is_ascii_digit()) {
+                BranchTarget::Absolute(cur.number_i64()?.try_into().map_err(|_| {
+                    err(line, "branch target out of range".to_owned())
+                })?)
+            } else {
+                let name = cur.word();
+                if !is_ident(name) {
+                    return Err(err(line, format!("invalid branch target `{name}`")));
+                }
+                BranchTarget::Label(name.to_owned())
+            };
+            cur.expect(';')?;
+            return Ok(PendingInst::Branch {
+                pred,
+                pred_neg,
+                target,
+                line,
+            });
+        }
+        "MOV" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let src = cur.operand()?;
+            end(cur, Op::Mov { dst, src })?
+        }
+        "MOV32I" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let imm = cur.number_i64()?;
+            if !(0..=0xFFFF_FFFF).contains(&imm) && !(-0x8000_0000..0).contains(&imm) {
+                return Err(err(line, format!("immediate {imm} out of 32-bit range")));
+            }
+            end(
+                cur,
+                Op::Mov32i {
+                    dst,
+                    imm: imm as u32,
+                },
+            )?
+        }
+        "S2R" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let name = cur.word();
+            let sr = special_reg_by_name(name)
+                .ok_or_else(|| err(line, format!("unknown special register `{name}`")))?;
+            end(cur, Op::S2r { dst, sr })?
+        }
+        "FADD" | "FMUL" | "IADD" | "IMUL" | "SHL" | "SHR" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let a = cur.reg()?;
+            cur.expect(',')?;
+            let b = cur.operand()?;
+            let op = match base {
+                "FADD" => Op::Fadd { dst, a, b },
+                "FMUL" => Op::Fmul { dst, a, b },
+                "IADD" => Op::Iadd { dst, a, b },
+                "IMUL" => Op::Imul { dst, a, b },
+                "SHL" => Op::Shl { dst, a, b },
+                _ => Op::Shr { dst, a, b },
+            };
+            end(cur, op)?
+        }
+        "FFMA" | "IMAD" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let a = cur.reg()?;
+            cur.expect(',')?;
+            let b = cur.operand()?;
+            cur.expect(',')?;
+            let c = cur.reg()?;
+            let op = if base == "FFMA" {
+                Op::Ffma { dst, a, b, c }
+            } else {
+                Op::Imad { dst, a, b, c }
+            };
+            end(cur, op)?
+        }
+        "ISCADD" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let a = cur.reg()?;
+            cur.expect(',')?;
+            let b = cur.operand()?;
+            cur.expect(',')?;
+            let shift = cur.number_i64()?;
+            if !(0..=31).contains(&shift) {
+                return Err(err(line, format!("shift {shift} out of range")));
+            }
+            end(
+                cur,
+                Op::Iscadd {
+                    dst,
+                    a,
+                    b,
+                    shift: shift as u8,
+                },
+            )?
+        }
+        "LOP" => {
+            let lop = match suffix {
+                Some("AND") => LogicOp::And,
+                Some("OR") => LogicOp::Or,
+                Some("XOR") => LogicOp::Xor,
+                _ => return Err(err(line, "expected LOP.AND/OR/XOR".to_owned())),
+            };
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let a = cur.reg()?;
+            cur.expect(',')?;
+            let b = cur.operand()?;
+            end(cur, Op::Lop { op: lop, dst, a, b })?
+        }
+        "ISETP" => {
+            let cmp = suffix
+                .and_then(cmp_by_suffix)
+                .ok_or_else(|| err(line, "expected ISETP.<LT|LE|GT|GE|EQ|NE>".to_owned()))?;
+            let p = cur.pred()?;
+            cur.expect(',')?;
+            let a = cur.reg()?;
+            cur.expect(',')?;
+            let b = cur.operand()?;
+            end(cur, Op::Isetp { p, cmp, a, b })?
+        }
+        "LD" | "LDS" | "LDL" => {
+            let space = match base {
+                "LD" => MemSpace::Global,
+                "LDS" => MemSpace::Shared,
+                _ => MemSpace::Local,
+            };
+            let width = width_from_suffix(suffix)?;
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let (addr, offset) = cur.mem_addr()?;
+            end(
+                cur,
+                Op::Ld {
+                    space,
+                    width,
+                    dst,
+                    addr,
+                    offset,
+                },
+            )?
+        }
+        "ST" | "STS" | "STL" => {
+            let space = match base {
+                "ST" => MemSpace::Global,
+                "STS" => MemSpace::Shared,
+                _ => MemSpace::Local,
+            };
+            let width = width_from_suffix(suffix)?;
+            let (addr, offset) = cur.mem_addr()?;
+            cur.expect(',')?;
+            let src = cur.reg()?;
+            end(
+                cur,
+                Op::St {
+                    space,
+                    width,
+                    src,
+                    addr,
+                    offset,
+                },
+            )?
+        }
+        "LDC" => {
+            let dst = cur.reg()?;
+            cur.expect(',')?;
+            let (bank, offset) = cur.const_ref()?;
+            end(cur, Op::Ldc { dst, bank, offset })?
+        }
+        other => {
+            return Err(err(line, format!("unknown mnemonic `{other}`")));
+        }
+    };
+    Ok(PendingInst::Done(Instruction { pred, pred_neg, op }))
+}
+
+fn end(cur: &mut Cursor<'_>, op: Op) -> Result<Op, SassError> {
+    cur.expect(';')?;
+    Ok(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Instruction {
+        let full = format!(".kernel t\n{src}\n");
+        let m = assemble(&full, Generation::Fermi).unwrap();
+        assert_eq!(m.kernels[0].code.len(), 1);
+        m.kernels[0].code[0]
+    }
+
+    #[test]
+    fn parses_basic_instructions() {
+        assert_eq!(
+            one("FFMA R8, R4, R5, R8;").op,
+            Op::Ffma {
+                dst: Reg::r(8),
+                a: Reg::r(4),
+                b: Operand::reg(5),
+                c: Reg::r(8),
+            }
+        );
+        assert_eq!(
+            one("LDS.64 R6, [R20+0x8];").op,
+            Op::Ld {
+                space: MemSpace::Shared,
+                width: MemWidth::B64,
+                dst: Reg::r(6),
+                addr: Reg::r(20),
+                offset: 8,
+            }
+        );
+        assert_eq!(
+            one("STS [R3-0x4], R2;").op,
+            Op::St {
+                space: MemSpace::Shared,
+                width: MemWidth::B32,
+                src: Reg::r(2),
+                addr: Reg::r(3),
+                offset: -4,
+            }
+        );
+        assert_eq!(
+            one("IADD R4, R4, -0x10;").op,
+            Op::Iadd {
+                dst: Reg::r(4),
+                a: Reg::r(4),
+                b: Operand::Imm(-16),
+            }
+        );
+        assert_eq!(
+            one("LDC R1, c[0x0][0x20];").op,
+            Op::Ldc {
+                dst: Reg::r(1),
+                bank: 0,
+                offset: 0x20,
+            }
+        );
+        assert_eq!(
+            one("FMUL R1, R2, c[0x0][0x28];").op,
+            Op::Fmul {
+                dst: Reg::r(1),
+                a: Reg::r(2),
+                b: Operand::Const {
+                    bank: 0,
+                    offset: 0x28
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn parses_guards() {
+        let i = one("@!P0 EXIT;");
+        assert_eq!(i.pred, Some(Pred::p(0)));
+        assert!(i.pred_neg);
+        let i = one("@P3 NOP;");
+        assert_eq!(i.pred, Some(Pred::p(3)));
+        assert!(!i.pred_neg);
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let src = r#"
+.kernel loopy
+.regs 4
+MOV32I R0, 0x10;
+LOOP:
+IADD R0, R0, -0x1;
+ISETP.GT P0, R0, 0x0;
+@P0 BRA LOOP;
+EXIT;
+"#;
+        let m = assemble(src, Generation::Fermi).unwrap();
+        let code = &m.kernels[0].code;
+        assert_eq!(code[3].op, Op::Bra { target: 1 });
+    }
+
+    #[test]
+    fn numeric_branch_targets_work() {
+        let src = ".kernel t\nBRA 0x0;\nEXIT;\n";
+        let m = assemble(src, Generation::Fermi).unwrap();
+        assert_eq!(m.kernels[0].code[0].op, Op::Bra { target: 0 });
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let src = ".kernel t\nBRA NOWHERE;\nEXIT;\n";
+        assert!(matches!(
+            assemble(src, Generation::Fermi),
+            Err(SassError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let src = ".kernel t\nA:\nNOP;\nA:\nEXIT;\n";
+        assert!(matches!(
+            assemble(src, Generation::Fermi),
+            Err(SassError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = ".kernel t\n/*0000*/ NOP; // trailing\nEXIT;\n";
+        let m = assemble(src, Generation::Fermi).unwrap();
+        assert_eq!(m.kernels[0].code.len(), 2);
+    }
+
+    #[test]
+    fn directives_populate_metadata() {
+        let src = "\
+.kernel meta
+.regs 63
+.shared 0x3000
+.local 40
+.param n
+.param a_ptr
+EXIT;
+";
+        let m = assemble(src, Generation::Fermi).unwrap();
+        let k = &m.kernels[0];
+        assert_eq!(k.num_regs, 63);
+        assert_eq!(k.shared_bytes, 0x3000);
+        assert_eq!(k.local_bytes, 40);
+        assert_eq!(k.params.len(), 2);
+        assert_eq!(k.params[1].offset, crate::PARAM_BASE + 4);
+    }
+
+    #[test]
+    fn ctl_directive_applies_to_next_instruction() {
+        let src = ".kernel t\n.ctl 0x04\nNOP;\nEXIT;\n";
+        let m = assemble(src, Generation::Kepler).unwrap();
+        let k = &m.kernels[0];
+        let ctl = k.ctl.as_ref().unwrap();
+        assert_eq!(ctl[0].stall, 4);
+        assert_eq!(ctl[1], CtlInfo::NONE);
+    }
+
+    #[test]
+    fn fermi_modules_carry_no_ctl() {
+        let src = ".kernel t\nNOP;\n";
+        let m = assemble(src, Generation::Fermi).unwrap();
+        assert!(m.kernels[0].ctl.is_none());
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let src = ".kernel a\nEXIT;\n.kernel b\nNOP;\nEXIT;\n";
+        let m = assemble(src, Generation::Fermi).unwrap();
+        assert_eq!(m.kernels.len(), 2);
+        assert_eq!(m.kernel("b").unwrap().code.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let src = ".kernel t\nNOP;\nBOGUS R1;\n";
+        match assemble(src, Generation::Fermi) {
+            Err(SassError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disassembly_reassembles() {
+        let src = r#"
+.kernel t
+.regs 16
+S2R R0, SR_TID.X;
+S2R R1, SR_CTAID.X;
+IMAD R2, R1, 0x100, R0;
+SHL R3, R2, 0x2;
+LD R4, [R3];
+FFMA R4, R4, R4, R4;
+ST [R3], R4;
+EXIT;
+"#;
+        let m = assemble(src, Generation::Fermi).unwrap();
+        let text = m.to_string();
+        let m2 = assemble(&text, Generation::Fermi).unwrap();
+        assert_eq!(m2.kernels[0].code, m.kernels[0].code);
+    }
+}

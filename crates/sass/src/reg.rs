@@ -1,0 +1,208 @@
+//! General-purpose registers and predicate registers.
+
+use std::fmt;
+
+use peakperf_arch::{register_bank, RegisterBank};
+
+use crate::SassError;
+
+/// A general-purpose 32-bit register.
+///
+/// Indices `0..=62` are real registers; index 63 is `RZ`, the hardwired zero
+/// register (reads return 0, writes are discarded). The 6-bit encoding field
+/// is what creates the Fermi/GK104 limit of 63 usable registers per thread
+/// (Section 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const RZ: Reg = Reg(63);
+
+    /// Highest usable general-purpose register index (`R62`).
+    pub const MAX_INDEX: u8 = 62;
+
+    /// Create a register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SassError::RegisterOutOfRange`] for indices above 63.
+    /// Index 63 yields [`Reg::RZ`].
+    pub fn new(index: u8) -> Result<Reg, SassError> {
+        if index > 63 {
+            Err(SassError::RegisterOutOfRange { index })
+        } else {
+            Ok(Reg(index))
+        }
+    }
+
+    /// Create a register, panicking on out-of-range indices.
+    ///
+    /// Convenience for generator code with static indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 63`.
+    pub fn r(index: u8) -> Reg {
+        Reg::new(index).expect("register index out of range")
+    }
+
+    /// The register index (63 for `RZ`).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_rz(self) -> bool {
+        self.0 == 63
+    }
+
+    /// The Kepler register-file bank this register lives in (Section 3.3).
+    ///
+    /// `RZ` is materialized in the operand collector and occupies no bank
+    /// bandwidth, but the mapping is still defined for it.
+    pub fn bank(self) -> RegisterBank {
+        register_bank(self.0)
+    }
+
+    /// The register `offset` slots above this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result exceeds `R62` (wide loads never target `RZ`).
+    pub fn offset(self, offset: u8) -> Reg {
+        let idx = self.0 + offset;
+        assert!(idx <= Reg::MAX_INDEX, "register R{idx} out of range");
+        Reg(idx)
+    }
+
+    /// Whether the register index is aligned for a memory access of
+    /// `words` 32-bit words (LDS.64 needs even registers, LDS.128 needs
+    /// quad-aligned registers).
+    pub fn is_aligned_for(self, words: u32) -> bool {
+        match words {
+            1 => true,
+            2 => self.0 % 2 == 0,
+            4 => self.0 % 4 == 0,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_rz() {
+            f.write_str("RZ")
+        } else {
+            write!(f, "R{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A predicate register.
+///
+/// `P0..=P6` are real predicates; `PT` (index 7) is the hardwired true
+/// predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(u8);
+
+impl Pred {
+    /// The hardwired true predicate.
+    pub const PT: Pred = Pred(7);
+
+    /// Create a predicate register from its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SassError::PredicateOutOfRange`] for indices above 7.
+    pub fn new(index: u8) -> Result<Pred, SassError> {
+        if index > 7 {
+            Err(SassError::PredicateOutOfRange { index })
+        } else {
+            Ok(Pred(index))
+        }
+    }
+
+    /// Create a predicate register, panicking on out-of-range indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 7`.
+    pub fn p(index: u8) -> Pred {
+        Pred::new(index).expect("predicate index out of range")
+    }
+
+    /// The predicate index (7 for `PT`).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired true predicate.
+    pub fn is_pt(self) -> bool {
+        self.0 == 7
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pt() {
+            f.write_str("PT")
+        } else {
+            write!(f, "P{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_limits() {
+        assert!(Reg::new(62).is_ok());
+        assert_eq!(Reg::new(63).unwrap(), Reg::RZ);
+        assert!(Reg::new(64).is_err());
+        assert!(Pred::new(7).is_ok());
+        assert!(Pred::new(8).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::r(5).to_string(), "R5");
+        assert_eq!(Reg::RZ.to_string(), "RZ");
+        assert_eq!(Pred::p(2).to_string(), "P2");
+        assert_eq!(Pred::PT.to_string(), "PT");
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Reg::r(4).is_aligned_for(4));
+        assert!(Reg::r(6).is_aligned_for(2));
+        assert!(!Reg::r(6).is_aligned_for(4));
+        assert!(!Reg::r(3).is_aligned_for(2));
+        assert!(Reg::r(3).is_aligned_for(1));
+    }
+
+    #[test]
+    fn bank_delegates_to_arch() {
+        assert_eq!(Reg::r(4).bank(), register_bank(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_past_r62_panics() {
+        let _ = Reg::r(62).offset(1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Structural validation of kernels against the ISA and generation limits.
+
+use peakperf_arch::Generation;
+
+use crate::{Instruction, Kernel, MemSpace, Op, SassError};
+
+fn verr(index: Option<usize>, message: impl Into<String>) -> SassError {
+    SassError::Validate {
+        index,
+        message: message.into(),
+    }
+}
+
+/// Validate one instruction (register-alignment rules for wide accesses,
+/// operand encodability).
+///
+/// # Errors
+///
+/// Returns [`SassError::Validate`] describing the violated constraint.
+pub fn validate_instruction(inst: &Instruction, index: usize) -> Result<(), SassError> {
+    match inst.op {
+        Op::Ld { width, dst, .. } => {
+            if !dst.is_aligned_for(width.words()) {
+                return Err(verr(
+                    Some(index),
+                    format!(
+                        "{} destination {dst} must be {}-register aligned",
+                        inst.op.mnemonic(),
+                        width.words()
+                    ),
+                ));
+            }
+            if dst.index() as u32 + width.words() > 64 {
+                return Err(verr(
+                    Some(index),
+                    format!("wide load at {dst} runs past the register file"),
+                ));
+            }
+        }
+        Op::St { width, src, .. } => {
+            if !src.is_aligned_for(width.words()) {
+                return Err(verr(
+                    Some(index),
+                    format!(
+                        "{} source {src} must be {}-register aligned",
+                        inst.op.mnemonic(),
+                        width.words()
+                    ),
+                ));
+            }
+            if src.index() as u32 + width.words() > 64 {
+                return Err(verr(
+                    Some(index),
+                    format!("wide store at {src} runs past the register file"),
+                ));
+            }
+        }
+        Op::Fadd { b, .. } | Op::Fmul { b, .. } | Op::Ffma { b, .. } => {
+            if matches!(b, crate::Operand::Imm(_)) {
+                return Err(verr(
+                    Some(index),
+                    "floating-point instructions take register or constant operands \
+                     (use MOV32I for literals)",
+                ));
+            }
+            b.check().map_err(|e| verr(Some(index), e.to_string()))?;
+        }
+        Op::Mov { src: b, .. }
+        | Op::Iadd { b, .. }
+        | Op::Imul { b, .. }
+        | Op::Imad { b, .. }
+        | Op::Iscadd { b, .. }
+        | Op::Shl { b, .. }
+        | Op::Shr { b, .. }
+        | Op::Lop { b, .. }
+        | Op::Isetp { b, .. } => {
+            b.check().map_err(|e| verr(Some(index), e.to_string()))?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Validate a whole kernel for a target generation:
+///
+/// * every instruction passes [`validate_instruction`];
+/// * the highest register index used is within `num_regs` and the
+///   generation's hard encoding limit (63 on Fermi/GK104, Section 2);
+/// * branch targets stay inside the kernel;
+/// * local-memory accesses require a non-zero `local_bytes` declaration;
+/// * Kepler kernels carry one control field per instruction.
+///
+/// # Errors
+///
+/// Returns the first violated constraint as [`SassError::Validate`].
+pub fn validate_kernel(kernel: &Kernel, generation: Generation) -> Result<(), SassError> {
+    let n = kernel.code.len();
+    if n == 0 {
+        return Err(verr(None, "kernel has no instructions"));
+    }
+    let max_regs = generation.max_registers_per_thread();
+    if kernel.num_regs > max_regs {
+        return Err(verr(
+            None,
+            format!(
+                "kernel declares {} registers but {generation} allows {max_regs}",
+                kernel.num_regs
+            ),
+        ));
+    }
+    let mut highest: Option<u8> = None;
+    for (i, inst) in kernel.code.iter().enumerate() {
+        validate_instruction(inst, i)?;
+        for r in inst.op.def_regs().into_iter().chain(inst.op.use_regs()) {
+            highest = Some(highest.map_or(r.index(), |h| h.max(r.index())));
+        }
+        if let Op::Bra { target } = inst.op {
+            if target as usize >= n {
+                return Err(verr(
+                    Some(i),
+                    format!("branch target {target:#x} outside kernel of {n} instructions"),
+                ));
+            }
+        }
+        if let Op::Ld {
+            space: MemSpace::Local,
+            ..
+        }
+        | Op::St {
+            space: MemSpace::Local,
+            ..
+        } = inst.op
+        {
+            if kernel.local_bytes == 0 {
+                return Err(verr(
+                    Some(i),
+                    "local-memory access in a kernel with no `.local` declaration",
+                ));
+            }
+        }
+    }
+    if let Some(h) = highest {
+        if u32::from(h) >= kernel.num_regs && kernel.num_regs > 0 {
+            return Err(verr(
+                None,
+                format!(
+                    "register R{h} used but kernel declares only {} registers",
+                    kernel.num_regs
+                ),
+            ));
+        }
+        if u32::from(h) >= max_regs {
+            return Err(verr(
+                None,
+                format!("register R{h} exceeds the {generation} limit of {max_regs}"),
+            ));
+        }
+    }
+    if generation.uses_control_notation() {
+        match &kernel.ctl {
+            Some(fields) if fields.len() == n => {}
+            Some(fields) => {
+                return Err(verr(
+                    None,
+                    format!(
+                        "control notation covers {} of {n} instructions",
+                        fields.len()
+                    ),
+                ))
+            }
+            None => {
+                return Err(verr(
+                    None,
+                    "Kepler kernels require control notation (Section 3.2)",
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctl::CtlInfo;
+    use crate::{MemWidth, Operand, Reg};
+
+    fn kernel_with(code: Vec<Instruction>, num_regs: u32) -> Kernel {
+        let mut k = Kernel::new("t");
+        k.num_regs = num_regs;
+        k.code = code;
+        k
+    }
+
+    #[test]
+    fn misaligned_wide_load_rejected() {
+        let inst = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B64,
+            dst: Reg::r(7),
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        assert!(validate_instruction(&inst, 0).is_err());
+        let ok = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B64,
+            dst: Reg::r(6),
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        assert!(validate_instruction(&ok, 0).is_ok());
+    }
+
+    #[test]
+    fn lds128_requires_quad_alignment() {
+        let inst = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B128,
+            dst: Reg::r(6),
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        assert!(validate_instruction(&inst, 0).is_err());
+    }
+
+    #[test]
+    fn float_immediates_rejected() {
+        let inst = Instruction::new(Op::Ffma {
+            dst: Reg::r(0),
+            a: Reg::r(1),
+            b: Operand::Imm(2),
+            c: Reg::r(0),
+        });
+        assert!(validate_instruction(&inst, 0).is_err());
+    }
+
+    #[test]
+    fn register_budget_enforced() {
+        let code = vec![
+            Instruction::new(Op::Mov {
+                dst: Reg::r(40),
+                src: Operand::Imm(0),
+            }),
+            Instruction::new(Op::Exit),
+        ];
+        let k = kernel_with(code, 16);
+        let e = validate_kernel(&k, Generation::Fermi).unwrap_err();
+        assert!(e.to_string().contains("R40"));
+    }
+
+    #[test]
+    fn branch_bounds_enforced() {
+        let code = vec![
+            Instruction::new(Op::Bra { target: 9 }),
+            Instruction::new(Op::Exit),
+        ];
+        let k = kernel_with(code, 4);
+        assert!(validate_kernel(&k, Generation::Fermi).is_err());
+    }
+
+    #[test]
+    fn local_access_requires_declaration() {
+        let code = vec![
+            Instruction::new(Op::St {
+                space: MemSpace::Local,
+                width: MemWidth::B32,
+                src: Reg::r(0),
+                addr: Reg::RZ,
+                offset: 0,
+            }),
+            Instruction::new(Op::Exit),
+        ];
+        let mut k = kernel_with(code, 4);
+        assert!(validate_kernel(&k, Generation::Fermi).is_err());
+        k.local_bytes = 64;
+        assert!(validate_kernel(&k, Generation::Fermi).is_ok());
+    }
+
+    #[test]
+    fn kepler_requires_ctl() {
+        let code = vec![Instruction::new(Op::Exit)];
+        let mut k = kernel_with(code, 4);
+        assert!(validate_kernel(&k, Generation::Kepler).is_err());
+        k.ctl = Some(vec![CtlInfo::NONE]);
+        assert!(validate_kernel(&k, Generation::Kepler).is_ok());
+        assert!(validate_kernel(&k, Generation::Fermi).is_ok());
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        let k = kernel_with(vec![], 4);
+        assert!(validate_kernel(&k, Generation::Fermi).is_err());
+    }
+
+    #[test]
+    fn gt200_allows_more_registers() {
+        let mut k = kernel_with(vec![Instruction::new(Op::Exit)], 100);
+        k.num_regs = 100;
+        assert!(validate_kernel(&k, Generation::Gt200).is_ok());
+        assert!(validate_kernel(&k, Generation::Fermi).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised while simulating a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A memory access fell outside the allocated space.
+    OutOfBounds {
+        /// Which address space was accessed.
+        space: &'static str,
+        /// The faulting byte address.
+        addr: u64,
+        /// Size of that space in bytes.
+        size: u64,
+    },
+    /// A memory access was not aligned to its width.
+    Misaligned {
+        /// Which address space was accessed.
+        space: &'static str,
+        /// The faulting byte address.
+        addr: u64,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// A `BAR.SYNC` executed while the warp was diverged, or with some
+    /// threads already exited — undefined behaviour on real hardware,
+    /// reported as an error here.
+    DivergentBarrier {
+        /// Instruction index of the barrier.
+        pc: u32,
+    },
+    /// The kernel ran past its instruction stream without `EXIT`.
+    RanOffEnd,
+    /// Kernel/launch mismatch (parameter count, block size, resources).
+    Launch {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The kernel exceeded the simulator's safety step limit
+    /// (almost certainly an unintended infinite loop).
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// Structural validation failed before execution.
+    Invalid {
+        /// Description from the validator.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { space, addr, size } => {
+                write!(
+                    f,
+                    "{space} access at {addr:#x} outside {size:#x}-byte space"
+                )
+            }
+            SimError::Misaligned { space, addr, align } => {
+                write!(f, "{space} access at {addr:#x} not {align}-byte aligned")
+            }
+            SimError::DivergentBarrier { pc } => {
+                write!(f, "BAR.SYNC at pc {pc:#x} executed by a diverged warp")
+            }
+            SimError::RanOffEnd => f.write_str("execution ran past the end of the kernel"),
+            SimError::Launch { message } => write!(f, "launch error: {message}"),
+            SimError::StepLimit { limit } => {
+                write!(f, "step limit of {limit} exceeded (infinite loop?)")
+            }
+            SimError::Invalid { message } => write!(f, "invalid kernel: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<peakperf_sass::SassError> for SimError {
+    fn from(e: peakperf_sass::SassError) -> SimError {
+        SimError::Invalid {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = SimError::OutOfBounds {
+            space: "global",
+            addr: 0x100,
+            size: 0x80,
+        };
+        assert!(e.to_string().contains("global"));
+        assert!(e.to_string().contains("0x100"));
+        let e = SimError::StepLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,782 @@
+//! Functional execution of warp instructions (shared by the functional and
+//! timing engines).
+
+use peakperf_sass::{Instruction, MemSpace, MemWidth, Op, Operand, SpecialReg};
+
+use crate::warp::{StepEvent, WarpState};
+use crate::{Dim3, GlobalMemory, SimError};
+
+/// Identification of a block within the grid plus launch geometry, used to
+/// materialize special registers.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCtx {
+    /// Block index.
+    pub ctaid: Dim3,
+    /// Block dimensions.
+    pub ntid: Dim3,
+    /// Grid dimensions.
+    pub nctaid: Dim3,
+}
+
+/// Mutable memory context for a block's warps.
+pub struct MemCtx<'a> {
+    /// Global memory of the GPU.
+    pub global: &'a mut GlobalMemory,
+    /// The block's shared memory.
+    pub shared: &'a mut [u8],
+    /// Per-thread local (spill) memory for the whole block:
+    /// `local_bytes` bytes per thread, indexed by linear thread id.
+    pub local: &'a mut [u8],
+    /// Per-thread local size in bytes.
+    pub local_bytes: u32,
+    /// Constant bank 0 contents from [`peakperf_sass::PARAM_BASE`] onward
+    /// (the kernel parameters).
+    pub params: &'a [u32],
+}
+
+/// Addresses touched by one memory warp-instruction (used by the timing
+/// model for coalescing and bank-conflict analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Address space.
+    pub space: MemSpace,
+    /// Access width.
+    pub width: MemWidth,
+    /// Whether this was a store.
+    pub store: bool,
+    /// Per-lane base byte addresses (active lanes only).
+    pub addrs: Vec<u32>,
+}
+
+/// The outcome of executing one warp instruction.
+#[derive(Debug, Default)]
+pub struct ExecOutcome {
+    /// Memory access record, if the instruction touched memory.
+    pub mem: Option<MemAccess>,
+}
+
+fn lane_linear_tid(warp_id: u32, lane: usize) -> u32 {
+    warp_id * 32 + lane as u32
+}
+
+fn special_value(ctx: &BlockCtx, warp_id: u32, lane: usize, sr: SpecialReg) -> u32 {
+    let t = lane_linear_tid(warp_id, lane);
+    let nx = ctx.ntid.x.max(1);
+    let ny = ctx.ntid.y.max(1);
+    match sr {
+        SpecialReg::TidX => t % nx,
+        SpecialReg::TidY => (t / nx) % ny,
+        SpecialReg::TidZ => t / (nx * ny),
+        SpecialReg::CtaidX => ctx.ctaid.x,
+        SpecialReg::CtaidY => ctx.ctaid.y,
+        SpecialReg::CtaidZ => ctx.ctaid.z,
+        SpecialReg::NtidX => ctx.ntid.x,
+        SpecialReg::NtidY => ctx.ntid.y,
+        SpecialReg::NtidZ => ctx.ntid.z,
+        SpecialReg::NctaidX => ctx.nctaid.x,
+        SpecialReg::NctaidY => ctx.nctaid.y,
+        SpecialReg::LaneId => lane as u32,
+    }
+}
+
+fn read_const(mem: &MemCtx<'_>, block: &BlockCtx, offset: u32) -> Result<u32, SimError> {
+    use peakperf_sass::PARAM_BASE;
+    if offset < PARAM_BASE {
+        // The sub-0x20 area mirrors launch geometry, as on Fermi.
+        return Ok(match offset {
+            0x0 => block.ntid.x,
+            0x4 => block.ntid.y,
+            0x8 => block.ntid.z,
+            0xc => block.nctaid.x,
+            0x10 => block.nctaid.y,
+            _ => 0,
+        });
+    }
+    let idx = ((offset - PARAM_BASE) / 4) as usize;
+    mem.params
+        .get(idx)
+        .copied()
+        .ok_or(SimError::OutOfBounds {
+            space: "const",
+            addr: u64::from(offset),
+            size: u64::from(PARAM_BASE) + 4 * mem.params.len() as u64,
+        })
+}
+
+fn operand_value(
+    warp: &WarpState,
+    lane: usize,
+    op: Operand,
+    mem: &MemCtx<'_>,
+    block: &BlockCtx,
+) -> Result<u32, SimError> {
+    match op {
+        Operand::Reg(r) => Ok(warp.reg(lane, r)),
+        Operand::Imm(v) => Ok(v as u32),
+        Operand::Const { offset, .. } => read_const(mem, block, offset),
+    }
+}
+
+fn shared_access(
+    shared: &mut [u8],
+    addr: u32,
+    width: MemWidth,
+) -> Result<usize, SimError> {
+    let bytes = width.bytes();
+    if addr % bytes != 0 {
+        return Err(SimError::Misaligned {
+            space: "shared",
+            addr: u64::from(addr),
+            align: bytes,
+        });
+    }
+    if u64::from(addr) + u64::from(bytes) > shared.len() as u64 {
+        return Err(SimError::OutOfBounds {
+            space: "shared",
+            addr: u64::from(addr),
+            size: shared.len() as u64,
+        });
+    }
+    Ok(addr as usize)
+}
+
+fn local_access(
+    local_bytes: u32,
+    addr: u32,
+    width: MemWidth,
+) -> Result<usize, SimError> {
+    let bytes = width.bytes();
+    if addr % bytes != 0 {
+        return Err(SimError::Misaligned {
+            space: "local",
+            addr: u64::from(addr),
+            align: bytes,
+        });
+    }
+    if addr + bytes > local_bytes {
+        return Err(SimError::OutOfBounds {
+            space: "local",
+            addr: u64::from(addr),
+            size: u64::from(local_bytes),
+        });
+    }
+    Ok(addr as usize)
+}
+
+fn global_check(
+    _global: &GlobalMemory,
+    addr: u32,
+    width: MemWidth,
+) -> Result<(), SimError> {
+    if addr % width.bytes() != 0 {
+        return Err(SimError::Misaligned {
+            space: "global",
+            addr: u64::from(addr),
+            align: width.bytes(),
+        });
+    }
+    Ok(())
+}
+
+/// Execute one non-control instruction for the lanes in `exec_mask`.
+///
+/// Control flow (`BRA`, `EXIT`, `BAR`) is handled by [`step_warp`]; passing
+/// such an instruction here is a no-op.
+///
+/// # Errors
+///
+/// Propagates memory faults.
+pub fn execute_op(
+    inst: &Instruction,
+    warp: &mut WarpState,
+    exec_mask: u32,
+    mem: &mut MemCtx<'_>,
+    block: &BlockCtx,
+) -> Result<ExecOutcome, SimError> {
+    let mut outcome = ExecOutcome::default();
+    let lanes = (0..32usize).filter(|&l| exec_mask & (1 << l) != 0);
+    match inst.op {
+        Op::Nop | Op::Exit | Op::Bra { .. } | Op::Bar => {}
+        Op::Mov { dst, src } => {
+            for l in lanes {
+                let v = operand_value(warp, l, src, mem, block)?;
+                warp.set_reg(l, dst, v);
+            }
+        }
+        Op::Mov32i { dst, imm } => {
+            for l in lanes {
+                warp.set_reg(l, dst, imm);
+            }
+        }
+        Op::S2r { dst, sr } => {
+            for l in lanes {
+                let v = special_value(block, warp.warp_id, l, sr);
+                warp.set_reg(l, dst, v);
+            }
+        }
+        Op::Fadd { dst, a, b } => {
+            for l in lanes {
+                let av = f32::from_bits(warp.reg(l, a));
+                let bv = f32::from_bits(operand_value(warp, l, b, mem, block)?);
+                warp.set_reg(l, dst, (av + bv).to_bits());
+            }
+        }
+        Op::Fmul { dst, a, b } => {
+            for l in lanes {
+                let av = f32::from_bits(warp.reg(l, a));
+                let bv = f32::from_bits(operand_value(warp, l, b, mem, block)?);
+                warp.set_reg(l, dst, (av * bv).to_bits());
+            }
+        }
+        Op::Ffma { dst, a, b, c } => {
+            for l in lanes {
+                let av = f32::from_bits(warp.reg(l, a));
+                let bv = f32::from_bits(operand_value(warp, l, b, mem, block)?);
+                let cv = f32::from_bits(warp.reg(l, c));
+                warp.set_reg(l, dst, av.mul_add(bv, cv).to_bits());
+            }
+        }
+        Op::Iadd { dst, a, b } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)?;
+                warp.set_reg(l, dst, av.wrapping_add(bv));
+            }
+        }
+        Op::Imul { dst, a, b } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)?;
+                warp.set_reg(l, dst, av.wrapping_mul(bv));
+            }
+        }
+        Op::Imad { dst, a, b, c } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)?;
+                let cv = warp.reg(l, c);
+                warp.set_reg(l, dst, av.wrapping_mul(bv).wrapping_add(cv));
+            }
+        }
+        Op::Iscadd { dst, a, b, shift } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)?;
+                warp.set_reg(l, dst, (av << shift).wrapping_add(bv));
+            }
+        }
+        Op::Shl { dst, a, b } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)? & 31;
+                warp.set_reg(l, dst, av << bv);
+            }
+        }
+        Op::Shr { dst, a, b } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)? & 31;
+                warp.set_reg(l, dst, av >> bv);
+            }
+        }
+        Op::Lop { op, dst, a, b } => {
+            for l in lanes {
+                let av = warp.reg(l, a);
+                let bv = operand_value(warp, l, b, mem, block)?;
+                warp.set_reg(l, dst, op.eval(av, bv));
+            }
+        }
+        Op::Isetp { p, cmp, a, b } => {
+            for l in lanes {
+                let av = warp.reg(l, a) as i32;
+                let bv = operand_value(warp, l, b, mem, block)? as i32;
+                warp.set_pred(l, p, cmp.eval(av, bv));
+            }
+        }
+        Op::Ldc { dst, offset, .. } => {
+            for l in lanes {
+                let v = read_const(mem, block, offset)?;
+                warp.set_reg(l, dst, v);
+            }
+        }
+        Op::Ld {
+            space,
+            width,
+            dst,
+            addr,
+            offset,
+        } => {
+            let mut addrs = Vec::new();
+            for l in lanes {
+                let base = warp.reg(l, addr).wrapping_add(offset as u32);
+                addrs.push(base);
+                for w in 0..width.words() {
+                    let value = match space {
+                        MemSpace::Global => {
+                            global_check(mem.global, base, width)?;
+                            mem.global.read_u32(base + 4 * w)?
+                        }
+                        MemSpace::Shared => {
+                            let i = shared_access(mem.shared, base, width)? + 4 * w as usize;
+                            u32::from_le_bytes(mem.shared[i..i + 4].try_into().unwrap())
+                        }
+                        MemSpace::Local => {
+                            let t = lane_linear_tid(warp.warp_id, l) as usize;
+                            let i = t * mem.local_bytes as usize
+                                + local_access(mem.local_bytes, base, width)?
+                                + 4 * w as usize;
+                            u32::from_le_bytes(mem.local[i..i + 4].try_into().unwrap())
+                        }
+                    };
+                    warp.set_reg(l, dst.offset(w as u8), value);
+                }
+            }
+            outcome.mem = Some(MemAccess {
+                space,
+                width,
+                store: false,
+                addrs,
+            });
+        }
+        Op::St {
+            space,
+            width,
+            src,
+            addr,
+            offset,
+        } => {
+            let mut addrs = Vec::new();
+            for l in lanes {
+                let base = warp.reg(l, addr).wrapping_add(offset as u32);
+                addrs.push(base);
+                for w in 0..width.words() {
+                    let value = warp.reg(l, src.offset(w as u8));
+                    match space {
+                        MemSpace::Global => {
+                            global_check(mem.global, base, width)?;
+                            mem.global.write_u32(base + 4 * w, value)?;
+                        }
+                        MemSpace::Shared => {
+                            let i = shared_access(mem.shared, base, width)? + 4 * w as usize;
+                            mem.shared[i..i + 4].copy_from_slice(&value.to_le_bytes());
+                        }
+                        MemSpace::Local => {
+                            let t = lane_linear_tid(warp.warp_id, l) as usize;
+                            let i = t * mem.local_bytes as usize
+                                + local_access(mem.local_bytes, base, width)?
+                                + 4 * w as usize;
+                            mem.local[i..i + 4].copy_from_slice(&value.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            outcome.mem = Some(MemAccess {
+                space,
+                width,
+                store: true,
+                addrs,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+/// Result of [`step_warp`]: the event plus the executed instruction's
+/// outcome (memory record) when an instruction actually executed.
+#[derive(Debug)]
+pub struct StepResult {
+    /// What happened.
+    pub event: StepEvent,
+    /// Memory access of the executed instruction, if any.
+    pub mem: Option<MemAccess>,
+}
+
+/// Execute one min-PC group step of a warp.
+///
+/// Returns [`StepEvent::AtBarrier`] *without advancing* when the group
+/// reaches a barrier (the caller releases it with [`release_barrier`] once
+/// every warp in the block has arrived).
+///
+/// # Errors
+///
+/// Propagates memory faults; reports [`SimError::DivergentBarrier`] when a
+/// barrier is reached by a diverged warp and [`SimError::RanOffEnd`] when
+/// the PC leaves the instruction stream.
+pub fn step_warp(
+    code: &[Instruction],
+    warp: &mut WarpState,
+    mem: &mut MemCtx<'_>,
+    block: &BlockCtx,
+) -> Result<StepResult, SimError> {
+    let Some((pc, mask)) = warp.current_group() else {
+        return Ok(StepResult {
+            event: StepEvent::Exited,
+            mem: None,
+        });
+    };
+    let inst = code.get(pc as usize).ok_or(SimError::RanOffEnd)?;
+
+    // Guard evaluation: lanes in the group whose predicate holds.
+    let mut exec_mask = 0u32;
+    for l in 0..32usize {
+        if mask & (1 << l) != 0 {
+            let ok = match inst.pred {
+                None => true,
+                Some(p) => warp.pred(l, p) != inst.pred_neg,
+            };
+            if ok {
+                exec_mask |= 1 << l;
+            }
+        }
+    }
+
+    match inst.op {
+        Op::Bar => {
+            if exec_mask != warp.running_mask() {
+                return Err(SimError::DivergentBarrier { pc });
+            }
+            Ok(StepResult {
+                event: StepEvent::AtBarrier { pc },
+                mem: None,
+            })
+        }
+        Op::Exit => {
+            warp.exit_lanes(exec_mask);
+            warp.advance(mask & !exec_mask, pc);
+            let event = if warp.done() {
+                StepEvent::Exited
+            } else {
+                StepEvent::Executed { pc, exec_mask }
+            };
+            Ok(StepResult { event, mem: None })
+        }
+        Op::Bra { target } => {
+            warp.jump(exec_mask, target);
+            warp.advance(mask & !exec_mask, pc);
+            Ok(StepResult {
+                event: StepEvent::Executed { pc, exec_mask },
+                mem: None,
+            })
+        }
+        _ => {
+            let outcome = execute_op(inst, warp, exec_mask, mem, block)?;
+            warp.advance(mask, pc);
+            Ok(StepResult {
+                event: StepEvent::Executed { pc, exec_mask },
+                mem: outcome.mem,
+            })
+        }
+    }
+}
+
+/// Release a warp waiting at the barrier at `pc`: advance every running
+/// lane past it.
+pub fn release_barrier(warp: &mut WarpState, pc: u32) {
+    let mask = warp.running_mask();
+    warp.advance(mask, pc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peakperf_sass::{CmpOp, Pred, Reg};
+
+    fn ctx_1d(threads: u32) -> BlockCtx {
+        BlockCtx {
+            ctaid: Dim3::new_1d(0),
+            ntid: Dim3::new_1d(threads),
+            nctaid: Dim3::new_1d(1),
+        }
+    }
+
+    fn empty_mem(global: &mut GlobalMemory) -> MemCtx<'_> {
+        MemCtx {
+            global,
+            shared: &mut [],
+            local: &mut [],
+            local_bytes: 0,
+            params: &[],
+        }
+    }
+
+    #[test]
+    fn tid_mapping_2d() {
+        let block = BlockCtx {
+            ctaid: Dim3::new_2d(2, 3),
+            ntid: Dim3::new_2d(16, 16),
+            nctaid: Dim3::new_2d(4, 4),
+        };
+        // Thread 35 = warp 1, lane 3 => tid.x = 3, tid.y = 2.
+        assert_eq!(special_value(&block, 1, 3, SpecialReg::TidX), 3);
+        assert_eq!(special_value(&block, 1, 3, SpecialReg::TidY), 2);
+        assert_eq!(special_value(&block, 1, 3, SpecialReg::CtaidY), 3);
+        assert_eq!(special_value(&block, 0, 7, SpecialReg::LaneId), 7);
+    }
+
+    #[test]
+    fn ffma_is_fused() {
+        let mut warp = WarpState::new(0, 1);
+        let mut global = GlobalMemory::new();
+        let mut mem = empty_mem(&mut global);
+        let block = ctx_1d(32);
+        warp.set_reg(0, Reg::r(1), 3.0f32.to_bits());
+        warp.set_reg(0, Reg::r(2), 4.0f32.to_bits());
+        warp.set_reg(0, Reg::r(3), 5.0f32.to_bits());
+        let inst = Instruction::new(Op::Ffma {
+            dst: Reg::r(0),
+            a: Reg::r(1),
+            b: peakperf_sass::Operand::reg(2),
+            c: Reg::r(3),
+        });
+        execute_op(&inst, &mut warp, 1, &mut mem, &block).unwrap();
+        assert_eq!(f32::from_bits(warp.reg(0, Reg::r(0))), 17.0);
+    }
+
+    #[test]
+    fn divergent_branch_reconverges() {
+        // if (tid < 2) r1 = 10 else r1 = 20; r2 = r1 + 1
+        let code = vec![
+            Instruction::new(Op::S2r {
+                dst: Reg::r(0),
+                sr: SpecialReg::TidX,
+            }),
+            Instruction::new(Op::Isetp {
+                p: Pred::p(0),
+                cmp: CmpOp::Lt,
+                a: Reg::r(0),
+                b: peakperf_sass::Operand::Imm(2),
+            }),
+            Instruction::predicated(Pred::p(0), true, Op::Bra { target: 5 }),
+            Instruction::new(Op::Mov32i {
+                dst: Reg::r(1),
+                imm: 20,
+            }),
+            Instruction::new(Op::Bra { target: 6 }),
+            Instruction::new(Op::Mov32i {
+                dst: Reg::r(1),
+                imm: 10,
+            }),
+            Instruction::new(Op::Iadd {
+                dst: Reg::r(2),
+                a: Reg::r(1),
+                b: peakperf_sass::Operand::Imm(1),
+            }),
+            Instruction::new(Op::Exit),
+        ];
+        let mut warp = WarpState::new(0, 4);
+        let mut global = GlobalMemory::new();
+        let mut mem = empty_mem(&mut global);
+        let block = ctx_1d(4);
+        for _ in 0..32 {
+            let r = step_warp(&code, &mut warp, &mut mem, &block).unwrap();
+            if r.event == StepEvent::Exited {
+                break;
+            }
+        }
+        assert!(warp.done());
+        // The guard is `@!P0 BRA 5` with P0 = (tid < 2): lanes 2 and 3 take
+        // the branch to the r1=10 path; lanes 0 and 1 fall through to r1=20.
+        assert_eq!(warp.reg(0, Reg::r(2)), 21);
+        assert_eq!(warp.reg(1, Reg::r(2)), 21);
+        assert_eq!(warp.reg(2, Reg::r(2)), 11);
+        assert_eq!(warp.reg(3, Reg::r(2)), 11);
+    }
+
+    #[test]
+    fn guarded_lanes_skip_execution() {
+        let mut warp = WarpState::new(0, 2);
+        warp.set_pred(0, Pred::p(1), true);
+        let code = vec![
+            Instruction::predicated(
+                Pred::p(1),
+                false,
+                Op::Mov32i {
+                    dst: Reg::r(0),
+                    imm: 7,
+                },
+            ),
+            Instruction::new(Op::Exit),
+        ];
+        let mut global = GlobalMemory::new();
+        let mut mem = empty_mem(&mut global);
+        let block = ctx_1d(2);
+        let r = step_warp(&code, &mut warp, &mut mem, &block).unwrap();
+        assert_eq!(
+            r.event,
+            StepEvent::Executed {
+                pc: 0,
+                exec_mask: 0b01
+            }
+        );
+        assert_eq!(warp.reg(0, Reg::r(0)), 7);
+        assert_eq!(warp.reg(1, Reg::r(0)), 0);
+    }
+
+    #[test]
+    fn shared_memory_round_trip() {
+        let mut warp = WarpState::new(0, 2);
+        let mut global = GlobalMemory::new();
+        let mut shared = vec![0u8; 256];
+        let mut mem = MemCtx {
+            global: &mut global,
+            shared: &mut shared,
+            local: &mut [],
+            local_bytes: 0,
+            params: &[],
+        };
+        let block = ctx_1d(2);
+        warp.set_reg(0, Reg::r(1), 0); // lane 0 -> addr 0
+        warp.set_reg(1, Reg::r(1), 8); // lane 1 -> addr 8
+        warp.set_reg(0, Reg::r(2), 111);
+        warp.set_reg(1, Reg::r(2), 222);
+        let st = Instruction::new(Op::St {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            src: Reg::r(2),
+            addr: Reg::r(1),
+            offset: 4,
+        });
+        let out = execute_op(&st, &mut warp, 0b11, &mut mem, &block).unwrap();
+        assert_eq!(out.mem.as_ref().unwrap().addrs, vec![4, 12]);
+        let ld = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            dst: Reg::r(3),
+            addr: Reg::r(1),
+            offset: 4,
+        });
+        execute_op(&ld, &mut warp, 0b11, &mut mem, &block).unwrap();
+        assert_eq!(warp.reg(0, Reg::r(3)), 111);
+        assert_eq!(warp.reg(1, Reg::r(3)), 222);
+    }
+
+    #[test]
+    fn shared_oob_faults() {
+        let mut warp = WarpState::new(0, 1);
+        let mut global = GlobalMemory::new();
+        let mut shared = vec![0u8; 16];
+        let mut mem = MemCtx {
+            global: &mut global,
+            shared: &mut shared,
+            local: &mut [],
+            local_bytes: 0,
+            params: &[],
+        };
+        let block = ctx_1d(1);
+        warp.set_reg(0, Reg::r(1), 16);
+        let ld = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            dst: Reg::r(3),
+            addr: Reg::r(1),
+            offset: 0,
+        });
+        assert!(execute_op(&ld, &mut warp, 1, &mut mem, &block).is_err());
+    }
+
+    #[test]
+    fn divergent_barrier_detected() {
+        // Lane 0 branches PAST the barrier (to just before EXIT), so when
+        // the other lane reaches BAR.SYNC the warp is genuinely diverged.
+        // (A branch *to* the barrier reconverges there under min-PC
+        // scheduling and is legal — covered by the func barrier tests.)
+        let code = vec![
+            Instruction::new(Op::S2r {
+                dst: Reg::r(0),
+                sr: SpecialReg::TidX,
+            }),
+            Instruction::new(Op::Isetp {
+                p: Pred::p(0),
+                cmp: CmpOp::Lt,
+                a: Reg::r(0),
+                b: peakperf_sass::Operand::Imm(1),
+            }),
+            Instruction::predicated(Pred::p(0), false, Op::Bra { target: 5 }),
+            Instruction::new(Op::Nop),
+            Instruction::new(Op::Bar),
+            Instruction::new(Op::Nop),
+            Instruction::new(Op::Exit),
+        ];
+        let mut warp = WarpState::new(0, 2);
+        let mut global = GlobalMemory::new();
+        let mut mem = empty_mem(&mut global);
+        let block = ctx_1d(2);
+        let err = loop {
+            match step_warp(&code, &mut warp, &mut mem, &block) {
+                Ok(r) if r.event == StepEvent::Exited => panic!("should have diverged"),
+                Ok(r) if matches!(r.event, StepEvent::AtBarrier { .. }) => {
+                    panic!("barrier reached by a diverged warp without error")
+                }
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SimError::DivergentBarrier { .. }));
+    }
+
+    #[test]
+    fn local_memory_is_per_thread() {
+        let mut warp = WarpState::new(0, 2);
+        let mut global = GlobalMemory::new();
+        let mut local = vec![0u8; 2 * 8];
+        let mut mem = MemCtx {
+            global: &mut global,
+            shared: &mut [],
+            local: &mut local,
+            local_bytes: 8,
+            params: &[],
+        };
+        let block = ctx_1d(2);
+        warp.set_reg(0, Reg::r(2), 5);
+        warp.set_reg(1, Reg::r(2), 9);
+        // Both lanes store to local offset 0; values must not collide.
+        let st = Instruction::new(Op::St {
+            space: MemSpace::Local,
+            width: MemWidth::B32,
+            src: Reg::r(2),
+            addr: Reg::RZ,
+            offset: 0,
+        });
+        execute_op(&st, &mut warp, 0b11, &mut mem, &block).unwrap();
+        let ld = Instruction::new(Op::Ld {
+            space: MemSpace::Local,
+            width: MemWidth::B32,
+            dst: Reg::r(3),
+            addr: Reg::RZ,
+            offset: 0,
+        });
+        execute_op(&ld, &mut warp, 0b11, &mut mem, &block).unwrap();
+        assert_eq!(warp.reg(0, Reg::r(3)), 5);
+        assert_eq!(warp.reg(1, Reg::r(3)), 9);
+    }
+
+    #[test]
+    fn params_visible_via_const() {
+        let mut warp = WarpState::new(0, 1);
+        let mut global = GlobalMemory::new();
+        let params = [42u32, 77];
+        let mut mem = MemCtx {
+            global: &mut global,
+            shared: &mut [],
+            local: &mut [],
+            local_bytes: 0,
+            params: &params,
+        };
+        let block = ctx_1d(1);
+        let inst = Instruction::new(Op::Ldc {
+            dst: Reg::r(0),
+            bank: 0,
+            offset: peakperf_sass::PARAM_BASE + 4,
+        });
+        execute_op(&inst, &mut warp, 1, &mut mem, &block).unwrap();
+        assert_eq!(warp.reg(0, Reg::r(0)), 77);
+        // ntid.x readable below PARAM_BASE
+        let inst = Instruction::new(Op::Ldc {
+            dst: Reg::r(1),
+            bank: 0,
+            offset: 0,
+        });
+        execute_op(&inst, &mut warp, 1, &mut mem, &block).unwrap();
+        assert_eq!(warp.reg(0, Reg::r(1)), 1);
+    }
+}

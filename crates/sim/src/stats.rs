@@ -1,0 +1,176 @@
+//! Execution statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use peakperf_sass::{Instruction, OpClass};
+
+/// Instruction-mix counters, keyed by mnemonic.
+///
+/// The paper reports, e.g., that 80.5% of executed instructions in the
+/// 1024×1024 SGEMM are FFMA and 13.4% LDS.64 (Section 4); this type
+/// produces those numbers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstMix {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl InstMix {
+    /// An empty mix.
+    pub fn new() -> InstMix {
+        InstMix::default()
+    }
+
+    /// Record `n` executions of `inst`.
+    pub fn record(&mut self, inst: &Instruction, n: u64) {
+        *self.counts.entry(inst.op.mnemonic()).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one mnemonic (exact match).
+    pub fn count(&self, mnemonic: &str) -> u64 {
+        self.counts.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Sum of counts over mnemonics starting with `prefix`.
+    pub fn count_prefix(&self, prefix: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(m, _)| m.starts_with(prefix))
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Fraction (0..=1) of instructions whose mnemonic starts with `prefix`.
+    pub fn fraction_prefix(&self, prefix: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_prefix(prefix) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterate over `(mnemonic, count)` in lexical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(m, &c)| (m.as_str(), c))
+    }
+}
+
+impl fmt::Display for InstMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (m, c) in self.iter() {
+            writeln!(
+                f,
+                "{m:<12} {c:>12} ({:5.1}%)",
+                100.0 * c as f64 / self.total.max(1) as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from a functional launch.
+#[derive(Debug, Clone, Default)]
+pub struct FuncStats {
+    /// Warp instructions executed, by mnemonic.
+    pub mix: InstMix,
+    /// Thread instructions executed (warp instructions weighted by the
+    /// number of active lanes).
+    pub thread_instructions: u64,
+    /// Warp instructions executed.
+    pub warp_instructions: u64,
+    /// FP32 floating-point operations performed (FFMA counts 2).
+    pub flops: u64,
+}
+
+impl FuncStats {
+    /// Record an executed warp instruction with `lanes` active lanes.
+    pub fn record(&mut self, inst: &Instruction, lanes: u32) {
+        self.mix.record(inst, 1);
+        self.warp_instructions += 1;
+        self.thread_instructions += u64::from(lanes);
+        if inst.op.class() == OpClass::Fp32 {
+            let per_lane = if matches!(inst.op, peakperf_sass::Op::Ffma { .. }) {
+                2
+            } else {
+                1
+            };
+            self.flops += u64::from(lanes) * per_lane;
+        }
+    }
+
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &FuncStats) {
+        for (m, c) in other.mix.counts.iter() {
+            *self.mix.counts.entry(m.clone()).or_insert(0) += c;
+        }
+        self.mix.total += other.mix.total;
+        self.thread_instructions += other.thread_instructions;
+        self.warp_instructions += other.warp_instructions;
+        self.flops += other.flops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peakperf_sass::{Op, Operand, Reg};
+
+    fn ffma() -> Instruction {
+        Instruction::new(Op::Ffma {
+            dst: Reg::r(0),
+            a: Reg::r(1),
+            b: Operand::reg(2),
+            c: Reg::r(0),
+        })
+    }
+
+    fn lds64() -> Instruction {
+        Instruction::new(Op::Ld {
+            space: peakperf_sass::MemSpace::Shared,
+            width: peakperf_sass::MemWidth::B64,
+            dst: Reg::r(4),
+            addr: Reg::r(6),
+            offset: 0,
+        })
+    }
+
+    #[test]
+    fn mix_fractions() {
+        let mut s = FuncStats::default();
+        for _ in 0..6 {
+            s.record(&ffma(), 32);
+        }
+        s.record(&lds64(), 32);
+        assert_eq!(s.mix.count("FFMA"), 6);
+        assert_eq!(s.mix.count("LDS.64"), 1);
+        assert!((s.mix.fraction_prefix("FFMA") - 6.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.flops, 6 * 32 * 2);
+        assert_eq!(s.thread_instructions, 7 * 32);
+    }
+
+    #[test]
+    fn prefix_counts_cover_widths() {
+        let mut m = InstMix::new();
+        m.record(&lds64(), 3);
+        assert_eq!(m.count_prefix("LDS"), 3);
+        assert_eq!(m.count("LDS"), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FuncStats::default();
+        a.record(&ffma(), 32);
+        let mut b = FuncStats::default();
+        b.record(&ffma(), 16);
+        a.merge(&b);
+        assert_eq!(a.mix.count("FFMA"), 2);
+        assert_eq!(a.flops, 2 * 32 + 2 * 16);
+    }
+}

@@ -1,0 +1,747 @@
+//! The cycle-level single-SM simulator.
+
+use std::collections::BTreeMap;
+
+use peakperf_arch::{GpuConfig, WARP_SIZE};
+use peakperf_sass::{validate_kernel, CtlInfo, Kernel, Op, OpClass};
+
+use crate::exec::{release_barrier, step_warp, BlockCtx, MemCtx};
+use crate::timing::conflict::{global_transactions, shared_conflict_factor, SEGMENT_BYTES};
+use crate::timing::Calibration;
+use crate::warp::{StepEvent, WarpState};
+use crate::{Dim3, GlobalMemory, InstMix, LaunchConfig, SimError};
+
+/// Default safety limit on simulated cycles.
+const DEFAULT_CYCLE_LIMIT: u64 = 200_000_000;
+
+/// L1 cache per SM available for local-memory (spill) data when shared
+/// memory takes 48 KB of the 64 KB unified array (Section 5.5).
+const L1_BYTES: u32 = 16 * 1024;
+
+/// Why a warp could not issue on a given attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallKind {
+    /// Operand not ready (scoreboard).
+    Scoreboard,
+    /// LD/ST or SP pipe busy.
+    Pipe,
+    /// Kepler issue-token bucket exhausted.
+    IssueTokens,
+    /// Waiting at a barrier.
+    Barrier,
+    /// Control-notation stall field (Kepler) or post-issue spacing.
+    CtlStall,
+    /// Kepler replay penalty for an uncovered ALU hazard.
+    HazardReplay,
+}
+
+/// Aggregate results of one timing run.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Total shader cycles until all resident warps exited.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub warp_instructions: u64,
+    /// Thread instructions issued (warp instructions × active lanes).
+    pub thread_instructions: u64,
+    /// FP32 operations executed (FFMA counts 2 per lane).
+    pub flops: u64,
+    /// Instruction mix.
+    pub mix: InstMix,
+    /// Stall cycles by cause (each cycle a runnable-but-blocked warp
+    /// contributes to its blocking cause, at most one count per warp-cycle).
+    pub stalls: BTreeMap<StallKind, u64>,
+    /// Cycles of LD/ST pipe occupancy beyond the conflict-free cost.
+    pub lds_conflict_cycles: u64,
+    /// Global-memory transactions issued.
+    pub global_transactions: u64,
+    /// Global-memory bytes moved.
+    pub global_bytes: u64,
+    /// Kepler hazard replays charged.
+    pub hazard_replays: u64,
+}
+
+impl TimingReport {
+    /// Thread instructions per cycle (the unit of Figures 2 and 4).
+    pub fn thread_ipc(&self) -> f64 {
+        self.thread_instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// FP32 operations per cycle on this SM.
+    pub fn flops_per_cycle(&self) -> f64 {
+        self.flops as f64 / self.cycles.max(1) as f64
+    }
+}
+
+struct WarpSlot {
+    state: WarpState,
+    block: usize,
+    next_issue: u64,
+    /// Ready cycle per architectural register.
+    sb_reg: [u64; 64],
+    /// Ready cycle per predicate.
+    sb_pred: [u64; 8],
+    /// Kepler: the producer of this register did not carry a covering
+    /// control-notation stall (replay hazard).
+    hazard: u64, // bitmask over 64 registers
+    at_barrier: bool,
+    done: bool,
+}
+
+struct BlockRes {
+    ctx: BlockCtx,
+    shared: Vec<u8>,
+    local: Vec<u8>,
+}
+
+/// Global-memory interface of one SM: fixed latency plus bandwidth
+/// queueing.
+struct MemIf {
+    bytes_per_cycle: f64,
+    latency: u32,
+    next_free: f64,
+}
+
+impl MemIf {
+    /// Service `bytes` starting no earlier than `now`; returns the cycle
+    /// the data is available.
+    fn access(&mut self, now: u64, bytes: u64) -> u64 {
+        let start = self.next_free.max(now as f64);
+        self.next_free = start + bytes as f64 / self.bytes_per_cycle;
+        (start + f64::from(self.latency)) as u64
+    }
+}
+
+/// A timing simulation of `resident_blocks` blocks of a kernel on one SM.
+pub struct TimingSim {
+    calib: Calibration,
+    kernel: Kernel,
+    config: LaunchConfig,
+    params: Vec<u32>,
+    resident_blocks: u32,
+    cycle_limit: u64,
+    /// Pre-extracted per-instruction metadata.
+    meta: Vec<InstMeta>,
+}
+
+struct InstMeta {
+    uses: Vec<peakperf_sass::Reg>,
+    defs: Vec<peakperf_sass::Reg>,
+    def_pred: Option<peakperf_sass::Pred>,
+    ctl: CtlInfo,
+    class: OpClass,
+    token_ways: u32,
+    distinct_srcs: usize,
+    latency: u32,
+}
+
+impl TimingSim {
+    /// Prepare a timing run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel does not validate for the GPU's generation or
+    /// the launch parameters are inconsistent.
+    pub fn new(
+        gpu: &GpuConfig,
+        kernel: &Kernel,
+        config: LaunchConfig,
+        params: &[u32],
+        resident_blocks: u32,
+    ) -> Result<TimingSim, SimError> {
+        validate_kernel(kernel, gpu.generation)?;
+        if params.len() != kernel.params.len() {
+            return Err(SimError::Launch {
+                message: format!(
+                    "kernel `{}` expects {} parameters, got {}",
+                    kernel.name,
+                    kernel.params.len(),
+                    params.len()
+                ),
+            });
+        }
+        if resident_blocks == 0 {
+            return Err(SimError::Launch {
+                message: "resident block count must be positive".to_owned(),
+            });
+        }
+        let calib = Calibration::for_generation(gpu.generation);
+        let meta = kernel
+            .code
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let ctl = kernel.ctl_for(i);
+                let uses = inst.op.use_regs();
+                let mut distinct = uses.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                // Register-bank conflict degree over distinct sources.
+                let mut per_bank = [0u32; 4];
+                for r in &distinct {
+                    per_bank[r.bank().index()] += 1;
+                }
+                let token_ways = per_bank.iter().copied().max().unwrap_or(1).max(1);
+                InstMeta {
+                    defs: inst.op.def_regs(),
+                    def_pred: inst.op.def_pred(),
+                    ctl,
+                    class: inst.op.class(),
+                    token_ways,
+                    distinct_srcs: distinct.len(),
+                    latency: calib.latency(&inst.op),
+                    uses,
+                }
+            })
+            .collect();
+        Ok(TimingSim {
+            calib,
+            kernel: kernel.clone(),
+            config,
+            params: params.to_vec(),
+            resident_blocks,
+            cycle_limit: DEFAULT_CYCLE_LIMIT,
+            meta,
+        })
+    }
+
+    /// Override the safety cycle limit.
+    pub fn set_cycle_limit(&mut self, limit: u64) {
+        self.cycle_limit = limit;
+    }
+
+    /// Run to completion and report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults and reports [`SimError::StepLimit`] if the
+    /// cycle limit is exceeded.
+    pub fn run(&mut self, memory: &mut GlobalMemory) -> Result<TimingReport, SimError> {
+        let threads = self.config.threads_per_block();
+        let warps_per_block = self.config.warps_per_block();
+        let n_warps = (warps_per_block * self.resident_blocks) as usize;
+
+        let mut blocks: Vec<BlockRes> = (0..self.resident_blocks)
+            .map(|b| BlockRes {
+                ctx: BlockCtx {
+                    // Resident blocks take the first grid slots along x.
+                    ctaid: Dim3 {
+                        x: b % self.config.grid.x.max(1),
+                        y: (b / self.config.grid.x.max(1)) % self.config.grid.y.max(1),
+                        z: 0,
+                    },
+                    ntid: self.config.block,
+                    nctaid: self.config.grid,
+                },
+                shared: vec![0u8; self.kernel.shared_bytes as usize],
+                local: vec![0u8; self.kernel.local_bytes as usize * threads as usize],
+            })
+            .collect();
+
+        let mut slots: Vec<WarpSlot> = (0..n_warps)
+            .map(|i| {
+                let w_in_block = (i as u32) % warps_per_block;
+                let lanes = (threads - w_in_block * WARP_SIZE).min(WARP_SIZE);
+                WarpSlot {
+                    state: WarpState::new(w_in_block, lanes),
+                    block: i / warps_per_block as usize,
+                    next_issue: 0,
+                    sb_reg: [0; 64],
+                    sb_pred: [0; 8],
+                    hazard: 0,
+                    at_barrier: false,
+                    done: false,
+                }
+            })
+            .collect();
+
+        // Local-memory spill traffic: fraction of accesses missing L1.
+        let spill_footprint =
+            self.kernel.local_bytes as u64 * u64::from(threads) * u64::from(self.resident_blocks);
+        let local_miss_fraction = if spill_footprint > u64::from(L1_BYTES) {
+            1.0 - L1_BYTES as f64 / spill_footprint as f64
+        } else {
+            0.0
+        };
+
+        let mut memif = MemIf {
+            bytes_per_cycle: self.calib.mem_bytes_per_cycle_sm,
+            latency: self.calib.global_latency,
+            next_free: 0.0,
+        };
+        let mut ldst_free: f64 = 0.0;
+        let mut sp_free: f64 = 0.0;
+        let mut tokens: f64 = 0.0;
+        let token_cap = self.calib.tokens_per_cycle.unwrap_or(0) as f64 * 2.0;
+
+        let mut report = TimingReport {
+            cycles: 0,
+            warp_instructions: 0,
+            thread_instructions: 0,
+            flops: 0,
+            mix: InstMix::new(),
+            stalls: BTreeMap::new(),
+            lds_conflict_cycles: 0,
+            global_transactions: 0,
+            global_bytes: 0,
+            hazard_replays: 0,
+        };
+
+        let schedulers = self.calib.schedulers as usize;
+        // Round-robin pointers per scheduler.
+        let mut rr: Vec<usize> = vec![0; schedulers];
+
+        let mut cycle: u64 = 0;
+        loop {
+            if slots.iter().all(|s| s.done) {
+                break;
+            }
+            if cycle > self.cycle_limit {
+                return Err(SimError::StepLimit {
+                    limit: self.cycle_limit,
+                });
+            }
+            if let Some(refill) = self.calib.tokens_per_cycle {
+                tokens = (tokens + refill as f64).min(token_cap.max(refill as f64));
+            }
+
+            for sched in 0..schedulers {
+                if self.calib.scheduler_half_rate && (cycle as usize + sched) % 2 != 0 {
+                    continue;
+                }
+                // Warps owned by this scheduler.
+                let owned: Vec<usize> = (0..n_warps)
+                    .filter(|&w| w % schedulers == sched)
+                    .collect();
+                if owned.is_empty() {
+                    continue;
+                }
+                let start = rr[sched] % owned.len();
+                let mut issued_from: Option<usize> = None;
+                for k in 0..owned.len() {
+                    let w = owned[(start + k) % owned.len()];
+                    match self.try_issue(
+                        w,
+                        cycle,
+                        &mut slots,
+                        &mut blocks,
+                        memory,
+                        &mut ldst_free,
+                        &mut sp_free,
+                        &mut tokens,
+                        &mut memif,
+                        local_miss_fraction,
+                        &mut report,
+                    )? {
+                        IssueResult::Issued => {
+                            issued_from = Some((start + k) % owned.len());
+                            // Dual dispatch: try one more instruction from
+                            // the same warp (Kepler's second dispatch unit).
+                            if self.calib.dispatch_per_scheduler > 1 {
+                                let _ = self.try_issue(
+                                    w,
+                                    cycle,
+                                    &mut slots,
+                                    &mut blocks,
+                                    memory,
+                                    &mut ldst_free,
+                                    &mut sp_free,
+                                    &mut tokens,
+                                    &mut memif,
+                                    local_miss_fraction,
+                                    &mut report,
+                                )?;
+                            }
+                            break;
+                        }
+                        IssueResult::Blocked(kind) => {
+                            *report.stalls.entry(kind).or_insert(0) += 1;
+                        }
+                        IssueResult::NotReady => {}
+                    }
+                }
+                if let Some(pos) = issued_from {
+                    rr[sched] = pos + 1;
+                }
+            }
+
+            // Barrier release: per block, when every non-done warp waits.
+            for (b, block) in blocks.iter().enumerate() {
+                let members: Vec<usize> = (0..n_warps)
+                    .filter(|&w| slots[w].block == b)
+                    .collect();
+                let _ = block;
+                let running: Vec<usize> =
+                    members.iter().copied().filter(|&w| !slots[w].done).collect();
+                if !running.is_empty() && running.iter().all(|&w| slots[w].at_barrier) {
+                    for &w in &running {
+                        let slot = &mut slots[w];
+                        slot.at_barrier = false;
+                        if let Some((pc, _)) = slot.state.current_group() {
+                            release_barrier(&mut slot.state, pc);
+                        }
+                        slot.next_issue = cycle + u64::from(self.calib.barrier_latency);
+                    }
+                }
+            }
+
+            cycle += 1;
+        }
+        report.cycles = cycle.max(1);
+        Ok(report)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue(
+        &self,
+        w: usize,
+        cycle: u64,
+        slots: &mut [WarpSlot],
+        blocks: &mut [BlockRes],
+        memory: &mut GlobalMemory,
+        ldst_free: &mut f64,
+        sp_free: &mut f64,
+        tokens: &mut f64,
+        memif: &mut MemIf,
+        local_miss_fraction: f64,
+        report: &mut TimingReport,
+    ) -> Result<IssueResult, SimError> {
+        let slot = &mut slots[w];
+        if slot.done {
+            return Ok(IssueResult::NotReady);
+        }
+        if slot.at_barrier {
+            return Ok(IssueResult::Blocked(StallKind::Barrier));
+        }
+        if slot.next_issue > cycle {
+            return Ok(IssueResult::Blocked(StallKind::CtlStall));
+        }
+        let Some((pc, _mask)) = slot.state.current_group() else {
+            slot.done = true;
+            return Ok(IssueResult::NotReady);
+        };
+        let inst = self
+            .kernel
+            .code
+            .get(pc as usize)
+            .ok_or(SimError::RanOffEnd)?;
+        let meta = &self.meta[pc as usize];
+
+        // Scoreboard.
+        let mut ready = 0u64;
+        let mut blocking_hazard = false;
+        for r in meta.uses.iter().chain(meta.defs.iter()) {
+            let idx = r.index() as usize;
+            let t = slot.sb_reg[idx];
+            if t > ready {
+                ready = t;
+            }
+            if t > cycle && slot.hazard & (1 << idx) != 0 {
+                blocking_hazard = true;
+            }
+        }
+        if let Some(p) = inst.pred {
+            ready = ready.max(slot.sb_pred[p.index() as usize]);
+        }
+        if let Some(p) = meta.def_pred {
+            ready = ready.max(slot.sb_pred[p.index() as usize]);
+        }
+        if ready > cycle {
+            if blocking_hazard && self.calib.hazard_penalty > 0 {
+                // Kepler replay: the scheduler trusted the (insufficient)
+                // control notation and must replay the instruction.
+                slot.next_issue = ready + u64::from(self.calib.hazard_penalty);
+                // Clear hazard flags we just paid for.
+                for r in meta.uses.iter().chain(meta.defs.iter()) {
+                    slot.hazard &= !(1 << r.index());
+                }
+                report.hazard_replays += 1;
+                return Ok(IssueResult::Blocked(StallKind::HazardReplay));
+            }
+            return Ok(IssueResult::Blocked(StallKind::Scoreboard));
+        }
+
+        // Structural pipes.
+        let is_mem = matches!(meta.class, OpClass::Mem(_));
+        let is_math = matches!(
+            meta.class,
+            OpClass::Fp32 | OpClass::Int | OpClass::IntMul | OpClass::Mov
+        );
+        if is_mem && *ldst_free >= (cycle + 1) as f64 {
+            return Ok(IssueResult::Blocked(StallKind::Pipe));
+        }
+        if is_math && *sp_free >= (cycle + 1) as f64 {
+            return Ok(IssueResult::Blocked(StallKind::Pipe));
+        }
+
+        // Kepler issue tokens.
+        let cost = if self.calib.tokens_per_cycle.is_some() && (is_math || is_mem) {
+            let c = self.calib.token_cost(
+                &inst.op,
+                meta.token_ways,
+                meta.ctl.dual,
+                meta.distinct_srcs,
+            ) as f64;
+            if *tokens < c {
+                return Ok(IssueResult::Blocked(StallKind::IssueTokens));
+            }
+            c
+        } else {
+            0.0
+        };
+
+        // Execute functionally.
+        let block = &mut blocks[slot.block];
+        let mut mem_ctx = MemCtx {
+            global: memory,
+            shared: &mut block.shared,
+            local: &mut block.local,
+            local_bytes: self.kernel.local_bytes,
+            params: &self.params,
+        };
+        let result = step_warp(&self.kernel.code, &mut slot.state, &mut mem_ctx, &block.ctx)?;
+
+        *tokens -= cost;
+
+        match result.event {
+            StepEvent::AtBarrier { .. } => {
+                slot.at_barrier = true;
+                report.warp_instructions += 1;
+                report.thread_instructions += u64::from(slot.state.running_mask().count_ones());
+                report.mix.record(inst, 1);
+                return Ok(IssueResult::Issued);
+            }
+            StepEvent::Exited => {
+                slot.done = true;
+                report.warp_instructions += 1;
+                report.mix.record(inst, 1);
+                return Ok(IssueResult::Issued);
+            }
+            StepEvent::Executed { exec_mask, .. } => {
+                let lanes = exec_mask.count_ones();
+                report.warp_instructions += 1;
+                report.thread_instructions += u64::from(lanes);
+                report.mix.record(inst, 1);
+                if meta.class == OpClass::Fp32 {
+                    let per_lane: u64 = if matches!(inst.op, Op::Ffma { .. }) { 2 } else { 1 };
+                    report.flops += u64::from(lanes) * per_lane;
+                }
+            }
+        }
+
+        // Post-issue costs.
+        let ctl_stall = u64::from(meta.ctl.stall);
+        slot.next_issue = cycle + 1 + if self.calib.generation.uses_control_notation() {
+            ctl_stall
+        } else {
+            0
+        };
+
+        if is_math {
+            *sp_free = sp_free.max(cycle as f64) + 32.0 / self.sp_rate();
+        }
+
+        let mut result_ready = cycle + u64::from(meta.latency);
+        if let Some(access) = &result.mem {
+            match access.space {
+                peakperf_sass::MemSpace::Shared => {
+                    let factor = shared_conflict_factor(
+                        self.calib.generation,
+                        access.width,
+                        &access.addrs,
+                    );
+                    let occ = self.calib.lds_pipe_cycles(access.width, factor);
+                    let base = self.calib.lds_pipe_cycles(access.width, 1);
+                    report.lds_conflict_cycles += u64::from(occ - base);
+                    *ldst_free = ldst_free.max(cycle as f64) + f64::from(occ);
+                    result_ready = cycle + u64::from(meta.latency) + u64::from(occ - base);
+                }
+                peakperf_sass::MemSpace::Global => {
+                    let txns = global_transactions(access.width, &access.addrs);
+                    let bytes = u64::from(txns) * u64::from(SEGMENT_BYTES);
+                    report.global_transactions += u64::from(txns);
+                    report.global_bytes += bytes;
+                    *ldst_free = ldst_free.max(cycle as f64) + f64::from(txns.max(1));
+                    let data_at = memif.access(cycle, bytes);
+                    if !access.store {
+                        result_ready = data_at;
+                    }
+                }
+                peakperf_sass::MemSpace::Local => {
+                    // Spill traffic: occupies the LD/ST pipe like shared
+                    // memory; the L1-miss fraction also pays global
+                    // bandwidth and latency (Section 5.5).
+                    let occ = self.calib.lds_pipe_cycles(access.width, 1);
+                    *ldst_free = ldst_free.max(cycle as f64) + f64::from(occ);
+                    if local_miss_fraction > 0.0 {
+                        let bytes = (access.addrs.len() as f64
+                            * f64::from(access.width.bytes())
+                            * local_miss_fraction) as u64;
+                        let data_at = memif.access(cycle, bytes);
+                        if !access.store {
+                            result_ready =
+                                result_ready.max(cycle + u64::from(self.calib.global_latency / 2)).max(data_at);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scoreboard updates. A producer counts as "covered" when it
+        // carries any scheduling stall at all: raw unannotated Kepler code
+        // (stall 0 everywhere) replays on ALU hazards and runs very poorly,
+        // exactly as the paper observed before decoding the notation
+        // (Section 3.2).
+        let kepler = self.calib.generation.uses_control_notation();
+        let covered = ctl_stall >= 1;
+        for r in &meta.defs {
+            let idx = r.index() as usize;
+            slot.sb_reg[idx] = result_ready;
+            let alu_like = matches!(
+                meta.class,
+                OpClass::Fp32 | OpClass::Int | OpClass::IntMul | OpClass::Mov
+            );
+            if kepler && alu_like && !covered && self.calib.hazard_penalty > 0 {
+                slot.hazard |= 1 << idx;
+            } else {
+                slot.hazard &= !(1 << idx);
+            }
+        }
+        if let Some(p) = meta.def_pred {
+            slot.sb_pred[p.index() as usize] = result_ready;
+        }
+
+        Ok(IssueResult::Issued)
+    }
+
+    fn sp_rate(&self) -> f64 {
+        // Warp-instructions per cycle the SP array can absorb.
+        match self.calib.generation {
+            peakperf_arch::Generation::Gt200 => 8.0,
+            peakperf_arch::Generation::Fermi => 32.0,
+            peakperf_arch::Generation::Kepler => 192.0,
+        }
+    }
+}
+
+enum IssueResult {
+    Issued,
+    Blocked(StallKind),
+    NotReady,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peakperf_sass::{Generation, KernelBuilder, Operand, Reg};
+
+    /// A kernel of `n` independent FFMAs per thread in a tight loop.
+    fn ffma_kernel(gen: Generation, unroll: usize, iters: u32) -> Kernel {
+        let mut b = KernelBuilder::new("ffma_tp", gen);
+        let r_i = Reg::r(16);
+        b.mov32i(r_i, iters);
+        // Initialize operand registers on distinct banks: R1, R4, R2, ...
+        for r in 0..8u8 {
+            b.mov_f32(Reg::r(r), 1.0 + f32::from(r));
+        }
+        let top = b.label_here();
+        // Accumulators on even0/odd1 so they never share a bank with the
+        // sources R1 (odd0) / R4 (even1) — the Section 3.3 discipline.
+        const ACCS: [u8; 4] = [8, 13, 10, 15];
+        for k in 0..unroll {
+            let dst = Reg::r(ACCS[(k % 4) as usize]);
+            if gen.uses_control_notation() {
+                // Annotated code, as nvcc would emit (a zero stall field
+                // marks unscheduled code and replays on ALU hazards).
+                b.with_ctl(CtlInfo::stall(1));
+            }
+            b.ffma(dst, Reg::r(1), Operand::reg(4), dst);
+        }
+        b.iadd(r_i, r_i, -1);
+        b.isetp(peakperf_sass::Pred::p(0), peakperf_sass::CmpOp::Gt, r_i, 0);
+        b.bra_if(peakperf_sass::Pred::p(0), false, top);
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    fn run_sm(
+        gen: Generation,
+        kernel: &Kernel,
+        threads: u32,
+        blocks: u32,
+    ) -> TimingReport {
+        let gpu = GpuConfig::preset(gen);
+        let mut mem = GlobalMemory::new();
+        let mut sim = TimingSim::new(
+            &gpu,
+            kernel,
+            LaunchConfig::linear(blocks, threads),
+            &[],
+            blocks,
+        )
+        .unwrap();
+        sim.run(&mut mem).unwrap()
+    }
+
+    #[test]
+    fn fermi_ffma_throughput_saturates_at_32() {
+        let kernel = ffma_kernel(Generation::Fermi, 32, 64);
+        let report = run_sm(Generation::Fermi, &kernel, 512, 1);
+        let ipc = report.thread_ipc();
+        assert!(
+            (25.0..=32.5).contains(&ipc),
+            "Fermi FFMA thread IPC {ipc} outside expected band"
+        );
+    }
+
+    #[test]
+    fn kepler_ffma_throughput_saturates_near_132() {
+        let kernel = ffma_kernel(Generation::Kepler, 32, 64);
+        let report = run_sm(Generation::Kepler, &kernel, 1024, 2);
+        let ipc = report.thread_ipc();
+        assert!(
+            (115.0..=136.0).contains(&ipc),
+            "Kepler FFMA thread IPC {ipc} outside expected band"
+        );
+    }
+
+    #[test]
+    fn few_threads_cannot_hide_latency() {
+        let kernel = ffma_kernel(Generation::Fermi, 32, 16);
+        let low = run_sm(Generation::Fermi, &kernel, 32, 1).thread_ipc();
+        let high = run_sm(Generation::Fermi, &kernel, 512, 1).thread_ipc();
+        assert!(low < high, "32 threads ({low}) should be slower than 512 ({high})");
+    }
+
+    #[test]
+    fn cycle_limit_catches_runaway() {
+        let mut b = KernelBuilder::new("spin", Generation::Fermi);
+        let top = b.label_here();
+        b.bra(top);
+        b.exit();
+        let kernel = b.finish().unwrap();
+        let gpu = GpuConfig::gtx580();
+        let mut mem = GlobalMemory::new();
+        let mut sim =
+            TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 32), &[], 1).unwrap();
+        sim.set_cycle_limit(10_000);
+        assert!(matches!(
+            sim.run(&mut mem),
+            Err(SimError::StepLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_round_trips_in_timing() {
+        let mut b = KernelBuilder::new("bar", Generation::Fermi);
+        b.shared_bytes(256);
+        b.nop();
+        b.bar();
+        b.nop();
+        b.exit();
+        let kernel = b.finish().unwrap();
+        let report = run_sm(Generation::Fermi, &kernel, 128, 1);
+        assert_eq!(report.mix.count("BAR.SYNC"), 4); // 4 warps
+        assert!(report.cycles > u64::from(Calibration::for_generation(Generation::Fermi).barrier_latency));
+    }
+}

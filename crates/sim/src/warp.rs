@@ -1,0 +1,222 @@
+//! Per-warp architectural state and the min-PC SIMT grouping.
+
+use peakperf_sass::{Pred, Reg};
+
+/// Sentinel PC for exited lanes.
+pub const EXITED: u32 = u32::MAX;
+
+/// Events produced by stepping a warp (see `exec::step_warp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// One warp instruction was executed.
+    Executed {
+        /// Instruction index that was executed.
+        pc: u32,
+        /// Lanes that truly executed (after divergence and guards).
+        exec_mask: u32,
+    },
+    /// The warp reached a `BAR.SYNC` and is waiting for the block.
+    AtBarrier {
+        /// Instruction index of the barrier.
+        pc: u32,
+    },
+    /// All lanes have exited.
+    Exited,
+}
+
+/// The architectural state of one warp: 32 lanes × (PC, 63 registers + RZ,
+/// 7 predicates).
+///
+/// Divergence is handled with *min-PC scheduling*: at each step the warp
+/// executes the group of lanes whose PC is minimal. For structured control
+/// flow this reconverges exactly where the hardware's SSY/reconvergence
+/// stack would, and it is robust for arbitrary (even unstructured) branch
+/// patterns.
+#[derive(Debug, Clone)]
+pub struct WarpState {
+    /// Warp index within its block.
+    pub warp_id: u32,
+    pcs: [u32; 32],
+    /// Lanes that exist (blocks whose size is not a multiple of 32 leave
+    /// the tail lanes dead).
+    live: u32,
+    regs: Box<[u32; 32 * 64]>,
+    preds: [u8; 32],
+}
+
+impl WarpState {
+    /// A fresh warp with `lanes` live lanes, all registers zero, all PCs 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 32.
+    pub fn new(warp_id: u32, lanes: u32) -> WarpState {
+        assert!((1..=32).contains(&lanes), "warp must have 1..=32 lanes");
+        let mut pcs = [EXITED; 32];
+        for pc in pcs.iter_mut().take(lanes as usize) {
+            *pc = 0;
+        }
+        WarpState {
+            warp_id,
+            pcs,
+            live: if lanes == 32 { u32::MAX } else { (1 << lanes) - 1 },
+            regs: vec![0u32; 32 * 64].into_boxed_slice().try_into().unwrap(),
+            preds: [0; 32],
+        }
+    }
+
+    /// Bitmask of live (created) lanes.
+    pub fn live_mask(&self) -> u32 {
+        self.live
+    }
+
+    /// Bitmask of lanes that have not exited.
+    pub fn running_mask(&self) -> u32 {
+        let mut m = 0u32;
+        for lane in 0..32 {
+            if self.live & (1 << lane) != 0 && self.pcs[lane] != EXITED {
+                m |= 1 << lane;
+            }
+        }
+        m
+    }
+
+    /// Whether every lane has exited.
+    pub fn done(&self) -> bool {
+        self.running_mask() == 0
+    }
+
+    /// The current min-PC group: the smallest PC among running lanes and
+    /// the mask of lanes at it. `None` when the warp is done.
+    pub fn current_group(&self) -> Option<(u32, u32)> {
+        let mut min_pc = EXITED;
+        for lane in 0..32 {
+            if self.live & (1 << lane) != 0 {
+                min_pc = min_pc.min(self.pcs[lane]);
+            }
+        }
+        if min_pc == EXITED {
+            return None;
+        }
+        let mut mask = 0u32;
+        for lane in 0..32 {
+            if self.live & (1 << lane) != 0 && self.pcs[lane] == min_pc {
+                mask |= 1 << lane;
+            }
+        }
+        Some((min_pc, mask))
+    }
+
+    /// Read a register in one lane (RZ reads as zero).
+    pub fn reg(&self, lane: usize, r: Reg) -> u32 {
+        if r.is_rz() {
+            0
+        } else {
+            self.regs[lane * 64 + r.index() as usize]
+        }
+    }
+
+    /// Write a register in one lane (writes to RZ are discarded).
+    pub fn set_reg(&mut self, lane: usize, r: Reg, value: u32) {
+        if !r.is_rz() {
+            self.regs[lane * 64 + r.index() as usize] = value;
+        }
+    }
+
+    /// Read a predicate in one lane (PT reads as true).
+    pub fn pred(&self, lane: usize, p: Pred) -> bool {
+        p.is_pt() || self.preds[lane] & (1 << p.index()) != 0
+    }
+
+    /// Write a predicate in one lane (writes to PT are discarded).
+    pub fn set_pred(&mut self, lane: usize, p: Pred, value: bool) {
+        if !p.is_pt() {
+            if value {
+                self.preds[lane] |= 1 << p.index();
+            } else {
+                self.preds[lane] &= !(1 << p.index());
+            }
+        }
+    }
+
+    /// Advance the PC of every lane in `mask` to `pc + 1`.
+    pub(crate) fn advance(&mut self, mask: u32, pc: u32) {
+        for lane in 0..32 {
+            if mask & (1 << lane) != 0 {
+                self.pcs[lane] = pc + 1;
+            }
+        }
+    }
+
+    /// Redirect lanes in `mask` to `target`.
+    pub(crate) fn jump(&mut self, mask: u32, target: u32) {
+        for lane in 0..32 {
+            if mask & (1 << lane) != 0 {
+                self.pcs[lane] = target;
+            }
+        }
+    }
+
+    /// Mark lanes in `mask` as exited.
+    pub(crate) fn exit_lanes(&mut self, mask: u32) {
+        for lane in 0..32 {
+            if mask & (1 << lane) != 0 {
+                self.pcs[lane] = EXITED;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_warp_groups_all_lanes_at_zero() {
+        let w = WarpState::new(0, 32);
+        assert_eq!(w.current_group(), Some((0, u32::MAX)));
+        assert!(!w.done());
+    }
+
+    #[test]
+    fn partial_warp_masks_dead_lanes() {
+        let w = WarpState::new(0, 5);
+        assert_eq!(w.live_mask(), 0b11111);
+        assert_eq!(w.current_group(), Some((0, 0b11111)));
+    }
+
+    #[test]
+    fn min_pc_selects_laggards() {
+        let mut w = WarpState::new(0, 4);
+        w.jump(0b0011, 10);
+        w.jump(0b1100, 3);
+        assert_eq!(w.current_group(), Some((3, 0b1100)));
+        w.advance(0b1100, 3);
+        assert_eq!(w.current_group(), Some((4, 0b1100)));
+        w.jump(0b1100, 10);
+        // Reconverged.
+        assert_eq!(w.current_group(), Some((10, 0b1111)));
+    }
+
+    #[test]
+    fn rz_and_pt_behave() {
+        let mut w = WarpState::new(0, 1);
+        w.set_reg(0, Reg::RZ, 42);
+        assert_eq!(w.reg(0, Reg::RZ), 0);
+        assert!(w.pred(0, Pred::PT));
+        w.set_pred(0, Pred::PT, false);
+        assert!(w.pred(0, Pred::PT));
+        w.set_pred(0, Pred::p(2), true);
+        assert!(w.pred(0, Pred::p(2)));
+        w.set_pred(0, Pred::p(2), false);
+        assert!(!w.pred(0, Pred::p(2)));
+    }
+
+    #[test]
+    fn exit_empties_warp() {
+        let mut w = WarpState::new(0, 2);
+        w.exit_lanes(0b11);
+        assert!(w.done());
+        assert_eq!(w.current_group(), None);
+    }
+}

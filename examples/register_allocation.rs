@@ -1,0 +1,68 @@
+//! The Kepler register-bank story (Sections 3.3 and 5.4): measure the
+//! throughput cost of operand bank conflicts, then solve the 6x6 SGEMM
+//! register allocation so the main loop is conflict-free.
+//!
+//! ```sh
+//! cargo run --release --example register_allocation
+//! ```
+
+use peakperf::arch::{register_bank, GpuConfig};
+use peakperf::kernels::microbench::math::{measure_math, MathOp, MathPattern};
+use peakperf::regalloc::{solve, AllocProblem, SgemmPlan, VReg};
+use peakperf::sass::Reg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kepler = GpuConfig::gtx680();
+
+    // The four banks, per the mapping reverse-engineered in Section 3.3.
+    println!("register bank of R0..R9:");
+    for r in 0..10u8 {
+        print!("  R{r}={}", register_bank(r));
+    }
+    println!("\n");
+
+    // Measure the cost of conflicts (Table 2 rows).
+    println!("FFMA throughput vs operand banks (simulated GTX680):");
+    for (b, c, label) in [
+        (4u8, 5u8, "R1,R4,R5 on three banks"),
+        (3, 5, "R1,R3 share odd0 (2-way)"),
+        (3, 9, "R1,R3,R9 all odd0 (3-way)"),
+    ] {
+        let pattern = MathPattern {
+            op: MathOp::Ffma,
+            dst: Reg::r(0),
+            a: Reg::r(1),
+            b: Reg::r(b),
+            c: Reg::r(c),
+        };
+        let t = measure_math(&kepler, &pattern)?;
+        println!("  {:<28} {:>6.1} thread insts/cycle", label, t.throughput);
+    }
+
+    // The general solver: three FFMA sources on distinct banks, with an
+    // LDS.64-aligned pair.
+    let mut p = AllocProblem::new(5);
+    p.require_wide(&[VReg(0), VReg(1)]); // an LDS.64 destination pair
+    p.require_distinct_banks(&[VReg(0), VReg(2), VReg(3)]);
+    p.require_distinct_banks(&[VReg(1), VReg(2), VReg(4)]);
+    let assignment = solve(&p)?;
+    println!("\nsmall allocation problem solved:");
+    for v in 0..5 {
+        let r = assignment[&VReg(v)];
+        println!("  v{v} -> {r} ({})", r.bank());
+    }
+
+    // The full SGEMM plan (Figure 9).
+    let naive = SgemmPlan::naive(6);
+    let optimized = SgemmPlan::bank_optimized(6)?;
+    let (nf, n2, n3) = naive.conflict_census();
+    let (of, o2, o3) = optimized.conflict_census();
+    println!("\n6x6 SGEMM main-loop FFMA conflicts (36 FFMAs per k-step):");
+    println!("  naive sequential plan: {nf} free, {n2} 2-way, {n3} 3-way");
+    println!("  bank-optimized plan:   {of} free, {o2} 2-way, {o3} 3-way");
+    println!(
+        "\npaper: the first Kepler version had 68.8% 2-way / 10.6% 3-way and ran \
+         ~1100 GFLOPS;\nthe conflict-free version reached ~1300 GFLOPS (Section 5.4)"
+    );
+    Ok(())
+}

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the `reproduce all` output plus
+per-experiment commentary. Run from the repository root:
+
+    python3 scripts/build_experiments_md.py
+"""
+
+import re
+from pathlib import Path
+
+OUTPUT = Path("reproduce_output.txt")
+TARGET = Path("EXPERIMENTS.md")
+
+HEADER = """# EXPERIMENTS — paper vs. reproduction
+
+Every table and figure of Lai & Seznec (CGO 2013), regenerated on the
+simulated GPUs by `cargo run --release -p peakperf-bench --bin reproduce --
+all` (quick mode; `--full` widens the size/ratio grids). The raw harness
+output is committed as `reproduce_output.txt`.
+
+**Reading guide.** The paper measured silicon; we measure a simulator whose
+calibration constants *are* the paper's published measurements (DESIGN.md
+S5). Microbenchmark-level results (Tables 1-2, Figures 2-4 and 9, the S4.5
+bounds) therefore reproduce closely -- that is the closed loop the paper
+itself relies on. Kernel-level results (Figures 5-8, "achieved") are
+emergent: the SGEMM kernels are built, scheduled, and register-allocated by
+this repository's own toolchain and run on the simulated microarchitecture,
+so absolute GFLOPS are *our* numbers; the paper's relative claims are what
+we verify. Quick mode caps `k` at 960 (steady-state GFLOPS are k-invariant
+to within a few percent).
+
+"""
+
+# Commentary inserted after the section whose title contains the key.
+COMMENTARY = {
+    "Table 1": """**Match: exact.** Regenerated from the configuration database; every
+cell equals the paper's Table 1 (the GT200 933-GFLOPS peak counts the
+dual-issued MUL, 3 flops/SP/cycle).""",
+
+    "Table 2": """**Match: within 6% on every row; all ratios preserved.** The claims —
+conflict-free math at ~132 thread-insts/cycle, 2-way bank conflicts
+halving it, 3-way cutting it to a third, the IMUL/IMAD quarter-rate path,
+and the 3-way-conflicted IMAD at ~26.5 — all reproduce. Our values sit
+~5% below the paper's because the measured loop carries its own branch
+overhead (the paper's 8192-instruction unroll amortizes more).""",
+
+    "Figure 2 — GTX580": """**Shape match.** All three widths saturate toward the 32 insts/cycle
+issue limit as the FFMA share grows; LDS.128's curve is depressed by its
+16-cycle pipe occupancy exactly as in the paper (crossing ~24.9 at 12:1,
+paper: 24.5); the 6:1 LDS.64 point lands at 30.4 (paper: 30.4).""",
+
+    "Figure 2 — GTX680": """**Shape match.** Kepler saturates toward its measured ~132 issue limit
+(126.5 at 32:1); the 6:1 LDS.64 point lands at 121.0 (paper uses 122.4 in
+its Section 4.5 arithmetic). LDS and LDS.64 overlay (same instruction
+rate, half the data rate for 32-bit LDS) and LDS.128 catches up once the
+ratio is high enough — the paper's "no penalty" observation.""",
+
+    "Figure 3": """**Match: exact (analytical).** The paper's anchors at BR=6 — 75%,
+85.7%, 92.3% — are the same closed-form values.""",
+
+    "Figure 4 — GTX580": """**Shape match.** The dependent curve is within ~7% of saturation by 512
+threads (the paper's observation verbatim), saturating at ~30 of the
+32-wide issue limit.""",
+
+    "Figure 4 — GTX680": """**Shape match.** Kepler keeps climbing far beyond 512 threads and the
+dependent curve stays well under the independent one until >1024 threads
+— the "increasing need for active threads" the paper demonstrates. It
+saturates at ~119 (paper's curve: ~120).""",
+
+    "Section 4.5": """**Match: exact.** All three headline bounds — 82.5% (Fermi LDS.64),
+54.6% (Kepler LDS.64), 57.6% (Kepler LDS.128) — equal the paper's
+Section 4.5 arithmetic, and both GPUs are SM-throughput-bound, not
+memory-bound, as the paper concludes. The design-space sweep puts the
+paper's configuration (BR=6, 256 threads, LDS.64/LDS.128) at the top,
+which is the Section 5.5 claim that the bound analysis shrinks the
+auto-tuning search space.""",
+
+    "Figure 5": """**Relative claims preserved.** The assembly kernel beats the CUBLAS-like
+build for all four variants on both GPUs; the gap is ~4-5% on Fermi
+(paper: ~5% average) and much larger on Kepler (paper's Figure 5 shows
+the same asymmetry). Absolute values are simulator GFLOPS at k=960.""",
+
+    "Figure 6": """**Shape match.** Performance climbs with size as waves fill the GPU and
+flattens past ~1920 with a mild sawtooth from partial waves; ordering
+asm > cublas-like > magma-like holds at every size. Absolute plateau
+~1128 GFLOPS vs the paper's ~1170 (we sit ~4% low; our kernel pays two
+barriers per 16-step tile against a 1-warp-instruction/cycle issue
+budget).""",
+
+    "Figure 7": """**Shape match with a known deviation.** Ordering and saturation shape
+hold (asm ~1230 vs baselines ~940). Two honest gaps against the paper's
+~1300-1400: (1) our shared-memory padding (stride 98) costs one resident
+block — 768 threads/SM instead of the paper's 1024 — and Figure 4 shows
+Kepler is still latency-sensitive there; (2) the magma-like and
+cublas-like builds nearly coincide because our L1 model absorbs most of
+the 40-byte spill traffic at this occupancy.""",
+
+    "Figure 8": """**Claim preserved.** The nvcc-like builds carry a substantial conflicted
+fraction (24.8% vs the paper's ~30%), the naive first-version assembly is
+the worst (40.7% vs the paper's 68.8+10.6%), and the optimized allocation
+is near conflict-free (1.1% vs the paper's 1.2%) — the main loop is fully
+clean; the residue is the epilogue, as in the paper.""",
+
+    "Figure 9": """**Match.** The solver reproduces the paper's scheme: the A column
+alternates even0/odd0, the B pair sits on even1/odd1, and all 36
+main-loop FFMAs are conflict-free with the accumulators spread across the
+four banks (the paper balances 9/bank; our solver lands 8/10/8/10, which
+is equally conflict-free).""",
+
+    "Section 5 —": """**Relative claims preserved.** Fermi: 71.3% of peak / 86.5% of the bound
+(paper: 74.2% / ~90%) and a 1.04x edge over the CUBLAS-like baseline
+(paper: ~5%). Kepler: 39.0% of peak / 67.7% of bound against the paper's
+44.5% / 77.3% — the shortfall is dominated by the 768-vs-1024 resident
+thread deficit discussed under Figure 7. On both GPUs the simulated
+kernels respect the bound, as an upper bound must.""",
+
+    "Ablation": """**Extension (not in the paper's evaluation).** Motivated by the paper's
+K20X remark: raising the per-thread register limit lifts the Fermi-style
+bound dramatically (more blocking) but barely moves Kepler — because
+Kepler's limiter is issue throughput, not registers. This is the paper's
+Section 6 conclusion, quantified.""",
+
+    "automatic bank-conflict removal": """**Extension implementing the paper's Section 5.5 proposal.** A
+semantics-preserving register renaming (solved by the same backtracking
+allocator) removes every main-loop conflict from the naive-register
+kernel and recovers the full bank-optimized performance — the paper did
+this by hand (1100 -> 1300 GFLOPS); here a tool does it.""",
+
+    "microbenchmark reference database": """**Extension implementing the paper's Section 5.5 proposal** ("a small
+database of performance references"): the declarative microbenchmark
+family, measured once per GPU and cached for use by auto-tuners. The
+pure-component rows recover the Table 2 / Section 4.1 anchors; the
+dependent mixes quantify what the SGEMM main loop can actually extract.""",
+}
+
+
+def main() -> None:
+    text = OUTPUT.read_text()
+    sections = re.split(r"(?m)^(?=## )", text)
+    out = [HEADER]
+    for section in sections:
+        if not section.strip():
+            continue
+        title = section.splitlines()[0]
+        out.append(section.rstrip() + "\n")
+        for key, comment in COMMENTARY.items():
+            if key in title:
+                out.append("\n" + comment + "\n")
+                break
+        out.append("\n")
+    TARGET.write_text("".join(out))
+    print(f"wrote {TARGET} ({len(out)} blocks)")
+
+
+if __name__ == "__main__":
+    main()

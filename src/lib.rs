@@ -1,0 +1,41 @@
+//! # peakperf
+//!
+//! A reproduction of *"Performance Upper Bound Analysis and Optimization of
+//! SGEMM on Fermi and Kepler GPUs"* (Junjie Lai & André Seznec, CGO 2013).
+//!
+//! Since the paper's contribution lives at the GPU assembly (SASS) level and
+//! the hardware it studies is long obsolete, this project rebuilds the whole
+//! stack in software (see `DESIGN.md` for the substitution rationale):
+//!
+//! * [`arch`] — the architecture database (Table 1, register banks,
+//!   occupancy limits, measured throughput tables).
+//! * [`sass`] — a SASS-like ISA with a text assembler, a binary
+//!   encoder/decoder with 6-bit register fields (hence the hard 63-register
+//!   limit), the Kepler control notation, and a programmatic kernel builder.
+//! * [`sim`] — a functional + cycle-level SM simulator calibrated from the
+//!   paper's measurements.
+//! * [`regalloc`] — register bank-conflict analysis and the bank-aware
+//!   allocation of Section 5.4.
+//! * [`kernels`] — SGEMM kernel generators (assembly-optimal, CUBLAS-like,
+//!   MAGMA-like, naive) and the microbenchmark generators.
+//! * [`bound`] — the performance upper-bound model (Equations 1–9).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use peakperf::arch::GpuConfig;
+//! use peakperf::bound::UpperBoundModel;
+//!
+//! let fermi = GpuConfig::gtx580();
+//! let model = UpperBoundModel::new(&fermi);
+//! let estimate = model.best_sgemm_bound();
+//! // Paper, Section 4.5: ~82.5% of theoretical peak on GTX580.
+//! assert!((estimate.fraction_of_peak - 0.825).abs() < 0.01);
+//! ```
+
+pub use peakperf_arch as arch;
+pub use peakperf_bound as bound;
+pub use peakperf_kernels as kernels;
+pub use peakperf_regalloc as regalloc;
+pub use peakperf_sass as sass;
+pub use peakperf_sim as sim;

@@ -1,0 +1,109 @@
+//! Determinism and cross-generation sanity tests.
+
+use peakperf::arch::{Generation, GpuConfig};
+use peakperf::kernels::microbench::{mix, run_on_sm};
+use peakperf::kernels::sgemm::{build_preset, upload_problem, Preset, SgemmProblem, Variant};
+use peakperf::sim::timing::time_kernel;
+use peakperf::sim::GlobalMemory;
+
+/// The simulator is a pure function of its inputs: identical launches
+/// produce identical cycle counts and results, run after run.
+#[test]
+fn timing_simulation_is_deterministic()  {
+    let gpu = GpuConfig::gtx580();
+    let problem = SgemmProblem {
+        variant: Variant::NN,
+        m: 192,
+        n: 96,
+        k: 64,
+    };
+    let build = build_preset(gpu.generation, &problem, Preset::AsmOpt).unwrap();
+    let run = || {
+        let mut memory = GlobalMemory::new();
+        let (a, b, c) = upload_problem(&mut memory, &problem, 99).unwrap();
+        let t = time_kernel(
+            &gpu,
+            &build.kernel,
+            build.config,
+            &[a, b, c, 1.0f32.to_bits(), 0.0f32.to_bits()],
+            &mut memory,
+            Some(problem.flops()),
+        )
+        .unwrap();
+        (t.total_cycles, t.sm.warp_instructions, t.sm.flops)
+    };
+    let first = run();
+    for _ in 0..3 {
+        assert_eq!(run(), first);
+    }
+}
+
+/// Microbenchmark measurements are reproducible to the cycle.
+#[test]
+fn microbenchmarks_are_deterministic() {
+    let gpu = GpuConfig::gtx680();
+    let a = mix::measure_mix(&gpu, 6, peakperf::arch::LdsWidth::B64).unwrap();
+    let b = mix::measure_mix(&gpu, 6, peakperf::arch::LdsWidth::B64).unwrap();
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+}
+
+/// GT200 sanity: its scheduler can issue faster than its 8 SPs can
+/// process, so a pure-FFMA stream is SP-bound at ~8 thread-insts/cycle —
+/// the "free cycles for auxiliary instructions" observation of
+/// Section 4.2.
+#[test]
+fn gt200_is_sp_bound_not_issue_bound() {
+    use peakperf::sass::{CmpOp, KernelBuilder, Operand, Pred, Reg};
+    let gpu = GpuConfig::gtx280();
+    let mut b = KernelBuilder::new("gt200_ffma", Generation::Gt200);
+    for i in 0..8u8 {
+        b.mov_f32(Reg::r(i), 1.0);
+    }
+    let counter = Reg::r(30);
+    b.mov32i(counter, 32);
+    let top = b.label_here();
+    for k in 0..64u8 {
+        b.ffma(Reg::r(8 + (k % 8)), Reg::r(1), Operand::reg(4), Reg::r(8 + (k % 8)));
+    }
+    b.iadd(counter, counter, -1);
+    b.isetp(Pred::p(0), CmpOp::Gt, counter, 0);
+    b.bra_if(Pred::p(0), false, top);
+    b.exit();
+    let kernel = b.finish().unwrap();
+    let report = run_on_sm(&gpu, &kernel, 512, 2).unwrap();
+    let ipc = report.thread_ipc();
+    assert!(
+        (6.5..=8.2).contains(&ipc),
+        "GT200 FFMA thread IPC {ipc} should sit at the 8-SP limit"
+    );
+}
+
+/// The three generations order as Table 1 says for the same SGEMM: Kepler
+/// above Fermi in absolute GFLOPS (more SPs), both far above their naive
+/// kernels.
+#[test]
+fn generations_order_sanely() {
+    let problem = SgemmProblem::square(Variant::NN, 960);
+    let mut results = Vec::new();
+    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
+        let build = build_preset(gpu.generation, &problem, Preset::AsmOpt).unwrap();
+        let mut memory = GlobalMemory::new();
+        let (a, b, c) = upload_problem(&mut memory, &problem, 5).unwrap();
+        let t = time_kernel(
+            &gpu,
+            &build.kernel,
+            build.config,
+            &[a, b, c, 1.0f32.to_bits(), 0.0f32.to_bits()],
+            &mut memory,
+            Some(problem.flops()),
+        )
+        .unwrap();
+        results.push((gpu.name, t.gflops));
+    }
+    assert!(
+        results[1].1 > results[0].1,
+        "Kepler ({:.0}) should outrun Fermi ({:.0}) in absolute GFLOPS",
+        results[1].1,
+        results[0].1
+    );
+}

