@@ -76,7 +76,7 @@ impl fmt::Display for RegisterBank {
 /// not consume bank bandwidth).
 pub fn register_bank(r: u8) -> RegisterBank {
     let low = r % 8 < 4;
-    let even = r % 2 == 0;
+    let even = r.is_multiple_of(2);
     match (even, low) {
         (true, true) => RegisterBank::Even0,
         (true, false) => RegisterBank::Even1,

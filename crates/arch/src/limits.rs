@@ -140,11 +140,10 @@ impl OccupancyLimits {
         } else {
             self.registers_per_sm / (regs_per_thread * threads_per_block)
         };
-        let by_smem = if shared_bytes_per_block == 0 {
-            u32::MAX
-        } else {
-            self.shared_mem_per_sm / shared_bytes_per_block
-        };
+        let by_smem = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes_per_block)
+            .unwrap_or(u32::MAX);
         let by_threads = self.max_threads_per_sm / threads_per_block;
         let by_hw = by_threads.min(self.max_blocks_per_sm);
 

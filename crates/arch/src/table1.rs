@@ -23,7 +23,10 @@ fn fmt_num(v: f64) -> String {
 
 /// Regenerate the rows of Table 1 from the three card presets.
 pub fn render_table1() -> Vec<Table1Row> {
-    let cards: Vec<GpuConfig> = Generation::ALL.iter().map(|&g| GpuConfig::preset(g)).collect();
+    let cards: Vec<GpuConfig> = Generation::ALL
+        .iter()
+        .map(|&g| GpuConfig::preset(g))
+        .collect();
     let row = |label: &'static str, f: &dyn Fn(&GpuConfig) -> String| Table1Row {
         label,
         values: [f(&cards[0]), f(&cards[1]), f(&cards[2])],
@@ -49,7 +52,9 @@ pub fn render_table1() -> Vec<Table1Row> {
             "SP Thread Instruction processing throughput per shader cycle per SM (FMAD/FFMA)",
             &|c| fmt_num(f64::from(c.sp_throughput_per_cycle())),
         ),
-        row("LD/ST Unit per SM", &|c| fmt_num(f64::from(c.ldst_units_per_sm))),
+        row("LD/ST Unit per SM", &|c| {
+            fmt_num(f64::from(c.ldst_units_per_sm))
+        }),
         row("Shared Memory per SM (KB)", &|c| {
             fmt_num(f64::from(c.shared_mem_per_sm) / 1024.0)
         }),
@@ -84,7 +89,10 @@ mod tests {
             ["933", "1581", "3090"]
         );
         assert_eq!(find("Shared Memory per SM (KB)").values, ["16", "48", "48"]);
-        assert_eq!(find("32bit Registers per SM (K)").values, ["16", "32", "64"]);
+        assert_eq!(
+            find("32bit Registers per SM (K)").values,
+            ["16", "32", "64"]
+        );
     }
 
     #[test]

@@ -1,129 +1,107 @@
-//! Criterion benches over the paper's experiments: one group per
-//! table/figure, measuring the simulation that regenerates it. The actual
-//! rows/series are printed by the `reproduce` binary; these benches keep
-//! the regeneration cost tracked and exercise every experiment end to end.
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Benches over the paper's experiments: one group per table/figure,
+//! measuring the simulation that regenerates it. The actual rows/series are
+//! printed by the `reproduce` binary; these benches keep the regeneration
+//! cost tracked and exercise every experiment end to end.
 
 use peakperf_arch::{GpuConfig, LdsWidth};
 use peakperf_bench::experiments::{self, sgemm_gflops, Speed};
+use peakperf_bench::harness::Bencher;
 use peakperf_bound::UpperBoundModel;
 use peakperf_kernels::microbench::{math, mix, threads};
 use peakperf_kernels::sgemm::{Preset, Variant};
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_architecture", |b| {
-        b.iter(|| std::hint::black_box(experiments::table1()))
-    });
+fn bench_table1() {
+    let b = Bencher::group("table1_architecture").iters(20);
+    b.bench("render", experiments::table1);
 }
 
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2() {
     let gpu = GpuConfig::gtx680();
     let patterns = math::table2_patterns();
-    let mut g = c.benchmark_group("table2_math_throughput");
-    g.sample_size(10);
+    let b = Bencher::group("table2_math_throughput");
     // One representative pattern per conflict class.
     for idx in [7usize, 8, 9, 16] {
         let p = patterns[idx];
-        g.bench_function(p.label().replace(", ", "_"), |b| {
-            b.iter(|| math::measure_math(&gpu, &p).unwrap().throughput)
+        b.bench(&p.label().replace(", ", "_"), || {
+            math::measure_math(&gpu, &p).unwrap().throughput
         });
     }
-    g.finish();
 }
 
-fn bench_fig2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_mix_throughput");
-    g.sample_size(10);
+fn bench_fig2() {
+    let b = Bencher::group("fig2_mix_throughput");
     for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
-        g.bench_function(format!("{}_6to1_lds64", gpu.name), |b| {
-            b.iter(|| mix::measure_mix(&gpu, 6, LdsWidth::B64).unwrap().throughput)
+        b.bench(&format!("{}_6to1_lds64", gpu.name), || {
+            mix::measure_mix(&gpu, 6, LdsWidth::B64).unwrap().throughput
         });
     }
-    g.finish();
 }
 
-fn bench_fig3(c: &mut Criterion) {
-    c.bench_function("fig3_ffma_percentage", |b| {
-        b.iter(|| std::hint::black_box(experiments::fig3()))
+fn bench_fig3() {
+    let b = Bencher::group("fig3_ffma_percentage").iters(20);
+    b.bench("render", experiments::fig3);
+}
+
+fn bench_fig4() {
+    let b = Bencher::group("fig4_active_threads");
+    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
+        b.bench(&format!("{}_dependent_512", gpu.name), || {
+            threads::measure_threads(&gpu, threads::Dependence::Dependent, 512)
+                .unwrap()
+                .throughput
+        });
+    }
+}
+
+fn bench_upperbound() {
+    let b = Bencher::group("upperbound_model_sweep").iters(20);
+    b.bench("both_gpus", || {
+        let fermi = UpperBoundModel::new(&GpuConfig::gtx580()).best_sgemm_bound();
+        let kepler = UpperBoundModel::new(&GpuConfig::gtx680()).best_sgemm_bound();
+        (fermi.gflops, kepler.gflops)
     });
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_active_threads");
-    g.sample_size(10);
-    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
-        g.bench_function(format!("{}_dependent_512", gpu.name), |b| {
-            b.iter(|| {
-                threads::measure_threads(&gpu, threads::Dependence::Dependent, 512)
-                    .unwrap()
-                    .throughput
-            })
-        });
-    }
-    g.finish();
-}
-
-fn bench_upperbound(c: &mut Criterion) {
-    c.bench_function("upperbound_model_sweep", |b| {
-        b.iter(|| {
-            let fermi = UpperBoundModel::new(&GpuConfig::gtx580()).best_sgemm_bound();
-            let kepler = UpperBoundModel::new(&GpuConfig::gtx680()).best_sgemm_bound();
-            (fermi.gflops, kepler.gflops)
-        })
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_sgemm_variants");
-    g.sample_size(10);
+fn bench_fig5() {
+    let b = Bencher::group("fig5_sgemm_variants");
     let gpu = GpuConfig::gtx580();
     for variant in [Variant::NN, Variant::NT] {
-        g.bench_function(format!("fermi_{}_asm_480", variant.name()), |b| {
-            b.iter(|| sgemm_gflops(&gpu, variant, Preset::AsmOpt, 480, Speed::Quick).unwrap())
+        b.bench(&format!("fermi_{}_asm_480", variant.name()), || {
+            sgemm_gflops(&gpu, variant, Preset::AsmOpt, 480, Speed::Quick).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_fig6_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_fig7_sgemm_sweep_point");
-    g.sample_size(10);
+fn bench_fig6_fig7() {
+    let b = Bencher::group("fig6_fig7_sgemm_sweep_point");
     for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
         for preset in [Preset::AsmOpt, Preset::CublasLike, Preset::MagmaLike] {
-            g.bench_function(format!("{}_{}_480", gpu.name, preset.name()), |b| {
-                b.iter(|| {
-                    sgemm_gflops(&gpu, Variant::NN, preset, 480, Speed::Quick).unwrap()
-                })
+            b.bench(&format!("{}_{}_480", gpu.name, preset.name()), || {
+                sgemm_gflops(&gpu, Variant::NN, preset, 480, Speed::Quick).unwrap()
             });
         }
     }
-    g.finish();
 }
 
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_conflict_analysis", |b| {
-        b.iter(|| experiments::fig8().unwrap())
-    });
+fn bench_fig8() {
+    let b = Bencher::group("fig8_conflict_analysis");
+    b.bench("census", || experiments::fig8().unwrap());
 }
 
-fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("fig9_register_allocation", |b| {
-        b.iter(|| experiments::fig9().unwrap())
-    });
+fn bench_fig9() {
+    let b = Bencher::group("fig9_register_allocation");
+    b.bench("plan", || experiments::fig9().unwrap());
 }
 
-criterion_group!(
-    experiments_benches,
-    bench_table1,
-    bench_table2,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_upperbound,
-    bench_fig5,
-    bench_fig6_fig7,
-    bench_fig8,
-    bench_fig9,
-);
-criterion_main!(experiments_benches);
+fn main() {
+    bench_table1();
+    bench_table2();
+    bench_fig2();
+    bench_fig3();
+    bench_fig4();
+    bench_upperbound();
+    bench_fig5();
+    bench_fig6_fig7();
+    bench_fig8();
+    bench_fig9();
+}

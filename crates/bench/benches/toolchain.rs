@@ -1,9 +1,8 @@
 //! Benches of the toolchain itself: assembler, encoder, allocator, and the
 //! two simulation engines.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
 use peakperf_arch::{Generation, GpuConfig};
+use peakperf_bench::harness::Bencher;
 use peakperf_kernels::matrix::Matrix;
 use peakperf_kernels::sgemm::{build_preset, run_sgemm, Preset, SgemmProblem, Variant};
 use peakperf_regalloc::SgemmPlan;
@@ -18,42 +17,35 @@ fn sample_module() -> Module {
     m
 }
 
-fn bench_assembler(c: &mut Criterion) {
+fn bench_assembler() {
     let module = sample_module();
     let text = module.to_string();
-    let n_insts = module.kernels[0].code.len() as u64;
-
-    let mut g = c.benchmark_group("assembler");
-    g.throughput(Throughput::Elements(n_insts));
-    g.bench_function("parse_sgemm_kernel", |b| {
-        b.iter(|| assemble(&text, Generation::Fermi).unwrap())
+    let b = Bencher::group("assembler").iters(20);
+    b.bench("parse_sgemm_kernel", || {
+        assemble(&text, Generation::Fermi).unwrap()
     });
-    g.bench_function("disassemble_sgemm_kernel", |b| b.iter(|| module.to_string()));
-    g.finish();
+    b.bench("disassemble_sgemm_kernel", || module.to_string());
 }
 
-fn bench_encoder(c: &mut Criterion) {
+fn bench_encoder() {
     let module = sample_module();
     let code = &module.kernels[0].code;
-    let mut g = c.benchmark_group("encoder");
-    g.throughput(Throughput::Elements(code.len() as u64));
-    g.bench_function("encode_sgemm_kernel", |b| {
-        b.iter(|| encode_stream(code).unwrap())
-    });
+    let b = Bencher::group("encoder").iters(20);
+    b.bench("encode_sgemm_kernel", || encode_stream(code).unwrap());
     let bytes = module.to_bytes().unwrap();
-    g.bench_function("container_round_trip", |b| {
-        b.iter(|| Module::from_bytes(&bytes).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_regalloc(c: &mut Criterion) {
-    c.bench_function("regalloc_bank_optimized_plan", |b| {
-        b.iter(|| SgemmPlan::bank_optimized(6).unwrap())
+    b.bench("container_round_trip", || {
+        Module::from_bytes(&bytes).unwrap()
     });
 }
 
-fn bench_functional_sim(c: &mut Criterion) {
+fn bench_regalloc() {
+    let b = Bencher::group("regalloc").iters(20);
+    b.bench("bank_optimized_plan", || {
+        SgemmPlan::bank_optimized(6).unwrap()
+    });
+}
+
+fn bench_functional_sim() {
     let problem = SgemmProblem {
         variant: Variant::NN,
         m: 96,
@@ -64,19 +56,14 @@ fn bench_functional_sim(c: &mut Criterion) {
     let a = Matrix::random(96, 64, 1);
     let bm = Matrix::random(64, 96, 2);
     let c0 = Matrix::zeros(96, 96);
-    let mut g = c.benchmark_group("functional_sim");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(problem.flops()));
-    g.bench_function("sgemm_96x96x64", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::new(Generation::Fermi);
-            run_sgemm(&mut gpu, &build, &a, &bm, &c0, 1.0, 0.0).unwrap()
-        })
+    let b = Bencher::group("functional_sim");
+    b.bench("sgemm_96x96x64", || {
+        let mut gpu = Gpu::new(Generation::Fermi);
+        run_sgemm(&mut gpu, &build, &a, &bm, &c0, 1.0, 0.0).unwrap()
     });
-    g.finish();
 }
 
-fn bench_timing_sim(c: &mut Criterion) {
+fn bench_timing_sim() {
     let gpu = GpuConfig::gtx580();
     let problem = SgemmProblem {
         variant: Variant::NN,
@@ -85,34 +72,28 @@ fn bench_timing_sim(c: &mut Criterion) {
         k: 96,
     };
     let build = build_preset(gpu.generation, &problem, Preset::AsmOpt).unwrap();
-    let mut g = c.benchmark_group("timing_sim");
-    g.sample_size(10);
-    g.bench_function("sgemm_wave_192x192x96", |b| {
-        b.iter(|| {
-            let mut memory = peakperf_sim::GlobalMemory::new();
-            let (a, bb, cc) =
-                peakperf_kernels::sgemm::upload_problem(&mut memory, &problem, 3).unwrap();
-            peakperf_sim::timing::time_kernel(
-                &gpu,
-                &build.kernel,
-                build.config,
-                &[a, bb, cc, 1.0f32.to_bits(), 0.0f32.to_bits()],
-                &mut memory,
-                Some(problem.flops()),
-            )
-            .unwrap()
-            .gflops
-        })
+    let b = Bencher::group("timing_sim");
+    b.bench("sgemm_wave_192x192x96", || {
+        let mut memory = peakperf_sim::GlobalMemory::new();
+        let (a, bb, cc) =
+            peakperf_kernels::sgemm::upload_problem(&mut memory, &problem, 3).unwrap();
+        peakperf_sim::timing::time_kernel(
+            &gpu,
+            &build.kernel,
+            build.config,
+            &[a, bb, cc, 1.0f32.to_bits(), 0.0f32.to_bits()],
+            &mut memory,
+            Some(problem.flops()),
+        )
+        .unwrap()
+        .gflops
     });
-    g.finish();
 }
 
-criterion_group!(
-    toolchain_benches,
-    bench_assembler,
-    bench_encoder,
-    bench_regalloc,
-    bench_functional_sim,
-    bench_timing_sim,
-);
-criterion_main!(toolchain_benches);
+fn main() {
+    bench_assembler();
+    bench_encoder();
+    bench_regalloc();
+    bench_functional_sim();
+    bench_timing_sim();
+}

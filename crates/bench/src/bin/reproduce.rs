@@ -1,22 +1,35 @@
 //! Regenerate the paper's tables and figures on the simulator.
 //!
 //! ```text
-//! reproduce [--full] <experiment>...
+//! reproduce [options] <experiment>...
 //! reproduce all            # everything (quick mode unless --full)
+//!
+//! options:
+//!   --full               simulate the full problem sizes
+//!   --quick              thin the size grids (default)
+//!   --workers <n>        worker threads (default: autodetect, or
+//!                        PEAKPERF_WORKERS)
+//!   --no-cache           disable the in-memory timing cache
+//!   --cache-dir <path>   persist timing-cache entries under <path>
+//!   --json <path>        write a machine-readable run report to <path>
 //! ```
 //!
-//! Experiments: `table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//! upperbound achieved`.
+//! Experiment names are validated up front; a failing experiment is
+//! reported and the remaining ones still run, with the exit code
+//! reflecting whether any failed.
 
 use std::process::ExitCode;
 
+use peakperf_bench::exec;
 use peakperf_bench::experiments::{self, Speed};
+use peakperf_bench::perf::{PerfSpan, RunReport};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce [--full] <experiment>...\n\
-         experiments: table1 table2 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 \
-         upperbound achieved ablation optimizer throughputdb all"
+        "usage: reproduce [--full|--quick] [--workers <n>] [--no-cache] \
+         [--cache-dir <path>] [--json <path>] <experiment>...\n\
+         experiments: {} all",
+        ALL.join(" ")
     );
     ExitCode::FAILURE
 }
@@ -61,35 +74,132 @@ const ALL: [&str; 15] = [
     "throughputdb",
 ];
 
-fn main() -> ExitCode {
-    let mut speed = Speed::Quick;
-    let mut names: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+struct Options {
+    speed: Speed,
+    names: Vec<String>,
+    json_path: Option<String>,
+    cache_dir: Option<String>,
+    use_cache: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        speed: Speed::Quick,
+        names: Vec::new(),
+        json_path: None,
+        cache_dir: None,
+        use_cache: true,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--full" => speed = Speed::Full,
-            "--quick" => speed = Speed::Quick,
-            "-h" | "--help" => return usage(),
-            other => names.push(other.to_owned()),
+            "--full" => opts.speed = Speed::Full,
+            "--quick" => opts.speed = Speed::Quick,
+            "--no-cache" => opts.use_cache = false,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid worker count `{v}`"))?;
+                exec::set_default_workers(n);
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a value")?;
+                opts.cache_dir = Some(v.clone());
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a value")?;
+                opts.json_path = Some(v.clone());
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => opts.names.push(other.to_owned()),
         }
     }
-    if names.is_empty() {
+    if opts.names.iter().any(|n| n == "all") {
+        opts.names = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    // Validate every experiment name up front, so a typo at position 5
+    // does not cost four experiments of simulation first.
+    let unknown: Vec<&str> = opts
+        .names
+        .iter()
+        .map(String::as_str)
+        .filter(|n| !ALL.contains(n))
+        .collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown experiment{} {}; known: {} all",
+            if unknown.len() > 1 { "s" } else { "" },
+            unknown.join(", "),
+            ALL.join(" ")
+        ));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            return usage();
+        }
+    };
+    if opts.names.is_empty() {
         return usage();
     }
-    if names.iter().any(|n| n == "all") {
-        names = ALL.iter().map(|s| (*s).to_owned()).collect();
+    if opts.use_cache {
+        peakperf_sim::timing::cache::enable_global(
+            opts.cache_dir.clone().map(std::path::PathBuf::from),
+        );
     }
-    for name in &names {
-        let started = std::time::Instant::now();
-        match run_one(name, speed) {
-            Ok(out) => {
-                println!("{out}");
-                eprintln!("[{name} done in {:.1?}]", started.elapsed());
-            }
+
+    let mut report = RunReport {
+        workers: exec::default_workers(),
+        cache_enabled: opts.use_cache,
+        cache_dir: opts.cache_dir.clone(),
+        experiments: Vec::new(),
+    };
+    let mut failures = 0u32;
+    for name in &opts.names {
+        let span = PerfSpan::begin();
+        let outcome = run_one(name, opts.speed);
+        match &outcome {
+            Ok(out) => println!("{out}"),
             Err(e) => {
+                // Report and keep going: one broken experiment should not
+                // cost the results of the others.
                 eprintln!("error in {name}: {e}");
-                return ExitCode::FAILURE;
+                failures += 1;
             }
         }
+        let perf = span.finish(name, outcome.map(|_| ()));
+        eprintln!(
+            "[{name} {} in {:.1?}]",
+            if perf.ok { "done" } else { "FAILED" },
+            perf.wall
+        );
+        report.experiments.push(perf);
     }
-    ExitCode::SUCCESS
+
+    eprintln!("{}", report.render_text());
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: could not write JSON report to {path}: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

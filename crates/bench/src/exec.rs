@@ -1,0 +1,294 @@
+//! A scoped-thread job executor for the experiment drivers.
+//!
+//! Every experiment in [`crate::experiments`] is a loop of independent
+//! simulation jobs (one per matrix size, per instruction pattern, per
+//! thread count, ...). This module runs such loops across worker threads
+//! with plain [`std::thread::scope`] — no external dependencies — while
+//! keeping results in **input order**, so the rendered tables are
+//! byte-identical whatever the worker count.
+//!
+//! Jobs are claimed dynamically (an atomic cursor over the item slice), so
+//! uneven job sizes — a 4096³ SGEMM wave next to a 128³ one — balance
+//! automatically.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Worker count override set by `--workers`/`PEAKPERF_WORKERS`; 0 = auto.
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Jobs completed by any executor in this process.
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Total busy time (nanoseconds) spent inside jobs, summed over workers.
+static JOB_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// A monotonic snapshot of the process-wide job counters (same
+/// snapshot/delta pattern as [`peakperf_sim::Counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Wall time spent inside jobs, summed over workers, in nanoseconds.
+    /// Divided by the enclosing wall time this gives the effective
+    /// parallelism; divided by `jobs` the mean per-job wall time.
+    pub busy_nanos: u64,
+}
+
+impl JobStats {
+    /// Current values of the process-wide job counters.
+    pub fn snapshot() -> JobStats {
+        JobStats {
+            jobs: JOBS_EXECUTED.load(Ordering::Relaxed),
+            busy_nanos: JOB_BUSY_NANOS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter growth since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &JobStats) -> JobStats {
+        JobStats {
+            jobs: self.jobs - earlier.jobs,
+            busy_nanos: self.busy_nanos - earlier.busy_nanos,
+        }
+    }
+
+    /// Busy time in milliseconds.
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_nanos as f64 / 1e6
+    }
+}
+
+fn record_job(elapsed: std::time::Duration) {
+    JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    JOB_BUSY_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Set the process-wide default worker count (0 restores auto-detection).
+pub fn set_default_workers(n: usize) {
+    DEFAULT_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default worker count: the value set by
+/// [`set_default_workers`], else the `PEAKPERF_WORKERS` environment
+/// variable, else [`std::thread::available_parallelism`].
+pub fn default_workers() -> usize {
+    let set = DEFAULT_WORKERS.load(Ordering::Relaxed);
+    if set > 0 {
+        return set;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    if let Some(n) = ENV.get_or_init(|| {
+        std::env::var("PEAKPERF_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+    }) {
+        return *n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A fixed-width pool of scoped worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Executor {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// An executor sized by [`default_workers`].
+    pub fn auto() -> Executor {
+        Executor::new(default_workers())
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item, in parallel, returning results in **input
+    /// order** regardless of the worker count or scheduling.
+    ///
+    /// # Panics
+    ///
+    /// A panic in `f` propagates to the caller (via scope join) once the
+    /// other in-flight jobs finish.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.try_map(items, |item| Ok::<T, Never>(f(item)))
+            .unwrap_or_else(|never| match never {})
+    }
+
+    /// Like [`Executor::map`] for fallible jobs: on success returns every
+    /// result in input order; on failure returns the error of the
+    /// smallest-index failing job (deterministic — jobs are claimed in
+    /// index order and a claimed job always runs to completion, so the
+    /// first failure by input order is always observed).
+    ///
+    /// After the first failure no *new* jobs are started.
+    ///
+    /// # Errors
+    ///
+    /// The error of the first failing job, by input order.
+    pub fn try_map<I, T, E, F>(&self, items: &[I], f: F) -> Result<Vec<T>, E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(&I) -> Result<T, E> + Sync,
+    {
+        let run = |item: &I| -> Result<T, E> {
+            let t0 = Instant::now();
+            let result = f(item);
+            record_job(t0.elapsed());
+            result
+        };
+
+        let workers = self.workers.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(run).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<Result<T, E>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failed.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let result = run(item);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Release);
+                    }
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(items.len());
+        for slot in slots {
+            match slot.into_inner().unwrap() {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(e)) => return Err(e),
+                // Unclaimed suffix after a failure: the failure itself
+                // appears earlier in the scan, so this is unreachable on
+                // the success path.
+                None => unreachable!("unexecuted job without a preceding failure"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// An uninhabited error type (`!` on stable), letting [`Executor::map`]
+/// reuse the fallible path.
+enum Never {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_keep_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let ex = Executor::new(8);
+        let got = ex.map(&items, |&i| i * i);
+        let want: Vec<usize> = items.iter().map(|&i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn one_worker_equals_many() {
+        let items: Vec<u64> = (0..64).collect();
+        // A job whose cost varies wildly with the item, to shuffle the
+        // completion order under parallelism.
+        let job = |&i: &u64| -> u64 {
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let serial = Executor::new(1).map(&items, job);
+        let parallel = Executor::new(8).map(&items, job);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn try_map_reports_first_error_by_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let ex = Executor::new(8);
+        let result: Result<Vec<usize>, usize> =
+            ex.try_map(&items, |&i| if i == 17 || i == 63 { Err(i) } else { Ok(i) });
+        assert_eq!(result, Err(17));
+    }
+
+    #[test]
+    fn try_map_stops_claiming_after_failure() {
+        let started = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10_000).collect();
+        let ex = Executor::new(4);
+        let result: Result<Vec<usize>, ()> = ex.try_map(&items, |&i| {
+            started.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err(())
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                Ok(i)
+            }
+        });
+        assert_eq!(result, Err(()));
+        assert!(
+            started.load(Ordering::Relaxed) < items.len(),
+            "a failure should stop the remaining jobs"
+        );
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let items: Vec<usize> = (0..32).collect();
+        let ex = Executor::new(4);
+        let outcome = std::panic::catch_unwind(|| {
+            ex.map(&items, |&i| {
+                assert!(i != 20, "boom");
+                i
+            })
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let ex = Executor::new(8);
+        let empty: Vec<u32> = ex.map(&[] as &[u32], |&i| i);
+        assert!(empty.is_empty());
+        assert_eq!(ex.map(&[5u32], |&i| i + 1), vec![6]);
+    }
+
+    #[test]
+    fn default_workers_is_positive_and_overridable() {
+        assert!(default_workers() >= 1);
+        set_default_workers(3);
+        assert_eq!(default_workers(), 3);
+        assert_eq!(Executor::auto().workers(), 3);
+        set_default_workers(0);
+        assert!(default_workers() >= 1);
+    }
+}

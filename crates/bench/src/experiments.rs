@@ -1,21 +1,26 @@
 //! One entry point per table/figure of the paper.
 //!
 //! Every function returns the rendered report text; the numeric series are
-//! also exposed for tests and the Criterion benches.
+//! also exposed for tests and the benches.
+//!
+//! The inner loops are embarrassingly parallel (one independent simulation
+//! per matrix size / instruction pattern / thread count), so each
+//! experiment builds its job list in render order, fans it out through
+//! [`crate::exec::Executor`], and assembles the table from the in-order
+//! results — the rendered text is byte-identical whatever the worker
+//! count.
 
 use peakperf_arch::{Generation, GpuConfig, LdsWidth};
 use peakperf_bound::{
-    ffma_fraction, paper_reference, register_limit_sweep, SgemmConfig, SweepEntry,
-    UpperBoundModel,
+    ffma_fraction, paper_reference, register_limit_sweep, SgemmConfig, SweepEntry, UpperBoundModel,
 };
 use peakperf_kernels::microbench::{math, mix, threads};
-use peakperf_kernels::sgemm::{
-    build_preset, upload_problem, Preset, SgemmProblem, Variant,
-};
+use peakperf_kernels::sgemm::{build_preset, upload_problem, Preset, SgemmProblem, Variant};
 use peakperf_regalloc::{analyze_ffma_conflicts, optimize_banks, SgemmPlan};
 use peakperf_sim::timing::time_kernel;
 use peakperf_sim::{GlobalMemory, SimError};
 
+use crate::exec::Executor;
 use crate::report::{f1, pct, Table};
 
 /// How much simulation to spend.
@@ -78,7 +83,12 @@ pub fn sgemm_gflops(
 pub fn table1() -> String {
     let mut t = Table::new(
         "Table 1 — Architecture Evolution (regenerated from the config database)",
-        &["metric", "GT200 (GTX280)", "Fermi (GTX580)", "Kepler (GTX680)"],
+        &[
+            "metric",
+            "GT200 (GTX280)",
+            "Fermi (GTX580)",
+            "Kepler (GTX680)",
+        ],
     );
     for row in peakperf_arch::render_table1() {
         t.row(vec![
@@ -118,13 +128,10 @@ pub fn table2() -> Result<String, SimError> {
         "Table 2 — Math Instruction Throughput on Kepler (thread insts / cycle / SM)",
         &["instruction", "measured", "paper"],
     );
-    let rows = math::measure_table2(&gpu)?;
+    let patterns = math::table2_patterns();
+    let rows = Executor::auto().try_map(&patterns, |p| math::measure_math(&gpu, p))?;
     for (row, paper) in rows.iter().zip(TABLE2_PAPER) {
-        t.row(vec![
-            row.pattern.label(),
-            f1(row.throughput),
-            f1(paper),
-        ]);
+        t.row(vec![row.pattern.label(), f1(row.throughput), f1(paper)]);
     }
     Ok(t.render())
 }
@@ -144,7 +151,19 @@ pub fn fig2(speed: Speed) -> Result<String, SimError> {
         Speed::Quick => vec![0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32],
         Speed::Full => (0..=32).collect(),
     };
-    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
+    let gpus = [GpuConfig::gtx580(), GpuConfig::gtx680()];
+    let jobs: Vec<(usize, u32, LdsWidth)> = gpus
+        .iter()
+        .enumerate()
+        .flat_map(|(g, _)| {
+            ratios
+                .iter()
+                .flat_map(move |&r| LdsWidth::ALL.map(|w| (g, r, w)))
+        })
+        .collect();
+    let results = Executor::auto().try_map(&jobs, |&(g, r, w)| mix::measure_mix(&gpus[g], r, w))?;
+    let mut results = results.into_iter();
+    for gpu in &gpus {
         let mut t = Table::new(
             format!(
                 "Figure 2 — {} thread-instruction throughput vs FFMA/LDS.X ratio",
@@ -153,9 +172,9 @@ pub fn fig2(speed: Speed) -> Result<String, SimError> {
             &["ratio", "LDS", "LDS.64", "LDS.128"],
         );
         for &r in &ratios {
-            let p32 = mix::measure_mix(&gpu, r, LdsWidth::B32)?;
-            let p64 = mix::measure_mix(&gpu, r, LdsWidth::B64)?;
-            let p128 = mix::measure_mix(&gpu, r, LdsWidth::B128)?;
+            let p32 = results.next().expect("job per (gpu, ratio, width)");
+            let p64 = results.next().expect("job per (gpu, ratio, width)");
+            let p128 = results.next().expect("job per (gpu, ratio, width)");
             t.row(vec![
                 r.to_string(),
                 f1(p32.throughput),
@@ -189,9 +208,7 @@ pub fn fig3() -> String {
         ]);
     }
     let mut out = t.render();
-    out.push_str(
-        "\npaper anchors at BR=6: 75% (LDS), 85.7% (LDS.64), 92.3% (LDS.128)\n",
-    );
+    out.push_str("\npaper anchors at BR=6: 75% (LDS), 85.7% (LDS.64), 92.3% (LDS.128)\n");
     out
 }
 
@@ -207,15 +224,9 @@ pub fn fig3() -> String {
 /// Propagates simulation errors.
 pub fn fig4(speed: Speed) -> Result<String, SimError> {
     let mut out = String::new();
-    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
-        let mut t = Table::new(
-            format!(
-                "Figure 4 — {} 6:1 FFMA/LDS.64 throughput vs active threads",
-                gpu.name
-            ),
-            &["threads", "dependent", "independent"],
-        );
-        let counts: Vec<u32> = match speed {
+    let gpus = [GpuConfig::gtx580(), GpuConfig::gtx680()];
+    let counts_for = |gpu: &GpuConfig| -> Vec<u32> {
+        match speed {
             Speed::Quick => [64u32, 128, 256, 384, 512, 768, 1024, 1536, 2048]
                 .into_iter()
                 .filter(|&c| c <= gpu.max_threads_per_sm)
@@ -229,15 +240,36 @@ pub fn fig4(speed: Speed) -> Result<String, SimError> {
                 }
                 v
             }
-        };
-        for c in counts {
-            let dep = threads::measure_threads(&gpu, threads::Dependence::Dependent, c)?;
-            let ind = threads::measure_threads(&gpu, threads::Dependence::Independent, c)?;
-            t.row(vec![
-                c.to_string(),
-                f1(dep.throughput),
-                f1(ind.throughput),
-            ]);
+        }
+    };
+    let jobs: Vec<(usize, threads::Dependence, u32)> = gpus
+        .iter()
+        .enumerate()
+        .flat_map(|(g, gpu)| {
+            counts_for(gpu).into_iter().flat_map(move |c| {
+                [
+                    (g, threads::Dependence::Dependent, c),
+                    (g, threads::Dependence::Independent, c),
+                ]
+            })
+        })
+        .collect();
+    let results = Executor::auto().try_map(&jobs, |&(g, dependence, c)| {
+        threads::measure_threads(&gpus[g], dependence, c)
+    })?;
+    let mut results = results.into_iter();
+    for gpu in &gpus {
+        let mut t = Table::new(
+            format!(
+                "Figure 4 — {} 6:1 FFMA/LDS.64 throughput vs active threads",
+                gpu.name
+            ),
+            &["threads", "dependent", "independent"],
+        );
+        for c in counts_for(gpu) {
+            let dep = results.next().expect("job per (gpu, dependence, count)");
+            let ind = results.next().expect("job per (gpu, dependence, count)");
+            t.row(vec![c.to_string(), f1(dep.throughput), f1(ind.throughput)]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -324,20 +356,39 @@ pub fn fig5(speed: Speed) -> Result<String, SimError> {
         Speed::Full => &[2400, 4800],
     };
     let mut out = String::new();
-    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
+    let gpus = [GpuConfig::gtx580(), GpuConfig::gtx680()];
+    let jobs: Vec<(usize, Variant, Preset, u32)> = gpus
+        .iter()
+        .enumerate()
+        .flat_map(|(g, _)| {
+            sizes.iter().flat_map(move |&size| {
+                Variant::ALL.into_iter().flat_map(move |variant| {
+                    [
+                        (g, variant, Preset::CublasLike, size),
+                        (g, variant, Preset::AsmOpt, size),
+                    ]
+                })
+            })
+        })
+        .collect();
+    let results = Executor::auto().try_map(&jobs, |&(g, variant, preset, size)| {
+        sgemm_gflops(&gpus[g], variant, preset, size, speed)
+    })?;
+    let mut results = results.into_iter();
+    for gpu in &gpus {
         for &size in sizes {
             let mut t = Table::new(
                 format!("Figure 5 — {} SGEMM variants at {size} (GFLOPS)", gpu.name),
                 &["variant", "cublas-like", "asm"],
             );
             for variant in Variant::ALL {
-                let cublas = sgemm_gflops(&gpu, variant, Preset::CublasLike, size, speed)?;
-                let asm = sgemm_gflops(&gpu, variant, Preset::AsmOpt, size, speed)?;
-                t.row(vec![
-                    variant.name().to_owned(),
-                    f1(cublas),
-                    f1(asm),
-                ]);
+                let cublas = results
+                    .next()
+                    .expect("job per (gpu, size, variant, preset)");
+                let asm = results
+                    .next()
+                    .expect("job per (gpu, size, variant, preset)");
+                t.row(vec![variant.name().to_owned(), f1(cublas), f1(asm)]);
             }
             out.push_str(&t.render());
             out.push('\n');
@@ -364,11 +415,22 @@ fn fig67(gpu: &GpuConfig, speed: Speed) -> Result<String, SimError> {
         format!("{fig} — SGEMM NN on {} vs matrix size (GFLOPS)", gpu.name),
         &["size", "asm", "cublas-like", "magma-like"],
     );
-    for size in sizes {
-        let asm = sgemm_gflops(gpu, Variant::NN, Preset::AsmOpt, size, speed)?;
-        let cublas = sgemm_gflops(gpu, Variant::NN, Preset::CublasLike, size, speed)?;
-        let magma = sgemm_gflops(gpu, Variant::NN, Preset::MagmaLike, size, speed)?;
-        t.row(vec![size.to_string(), f1(asm), f1(cublas), f1(magma)]);
+    let jobs: Vec<(u32, Preset)> = sizes
+        .iter()
+        .flat_map(|&size| {
+            [Preset::AsmOpt, Preset::CublasLike, Preset::MagmaLike].map(|p| (size, p))
+        })
+        .collect();
+    let results = Executor::auto().try_map(&jobs, |&(size, preset)| {
+        sgemm_gflops(gpu, Variant::NN, preset, size, speed)
+    })?;
+    for (size, chunk) in sizes.iter().zip(results.chunks(3)) {
+        t.row(vec![
+            size.to_string(),
+            f1(chunk[0]),
+            f1(chunk[1]),
+            f1(chunk[2]),
+        ]);
     }
     Ok(t.render())
 }
@@ -408,10 +470,7 @@ pub fn fig8() -> Result<String, SimError> {
     let problem = SgemmProblem::square(Variant::NN, 960);
     // MAGMA-like for all four variants (the paper's magma_NN..TT bars).
     for variant in Variant::ALL {
-        let p = SgemmProblem {
-            variant,
-            ..problem
-        };
+        let p = SgemmProblem { variant, ..problem };
         let build = build_preset(Generation::Kepler, &p, Preset::MagmaLike)?;
         let census = analyze_ffma_conflicts(&build.kernel.code);
         t.row(vec![
@@ -523,12 +582,22 @@ pub fn achieved(speed: Speed) -> Result<String, SimError> {
             "asm/cublas",
         ],
     );
-    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
-        let model = UpperBoundModel::new(&gpu);
+    let gpus = [GpuConfig::gtx580(), GpuConfig::gtx680()];
+    let jobs: Vec<(usize, Preset)> = gpus
+        .iter()
+        .enumerate()
+        .flat_map(|(g, _)| [(g, Preset::AsmOpt), (g, Preset::CublasLike)])
+        .collect();
+    let results = Executor::auto().try_map(&jobs, |&(g, preset)| {
+        sgemm_gflops(&gpus[g], Variant::NN, preset, size, speed)
+    })?;
+    let mut results = results.into_iter();
+    for gpu in &gpus {
+        let model = UpperBoundModel::new(gpu);
         let bound = model.best_sgemm_bound();
         let peak = gpu.theoretical_peak_gflops();
-        let asm = sgemm_gflops(&gpu, Variant::NN, Preset::AsmOpt, size, speed)?;
-        let cublas = sgemm_gflops(&gpu, Variant::NN, Preset::CublasLike, size, speed)?;
+        let asm = results.next().expect("job per (gpu, preset)");
+        let cublas = results.next().expect("job per (gpu, preset)");
         let paper = paper_reference(gpu.generation);
         t.row(vec![
             gpu.name.to_owned(),
@@ -608,16 +677,19 @@ pub fn optimizer(speed: Speed) -> Result<String, SimError> {
             build.config,
             &[a, b, c, 1.0f32.to_bits(), 0.0f32.to_bits()],
             &mut memory,
-            Some(SgemmProblem {
-                k: speed.cap_k(size),
-                ..problem
-            }
-            .flops()),
+            Some(
+                SgemmProblem {
+                    k: speed.cap_k(size),
+                    ..problem
+                }
+                .flops(),
+            ),
         )?
         .gflops)
     };
-    let before_gf = time(&build.kernel)?;
-    let after_gf = time(&rewritten.kernel)?;
+    let kernels = [&build.kernel, &rewritten.kernel];
+    let timed = Executor::auto().try_map(&kernels, |k| time(k))?;
+    let (before_gf, after_gf) = (timed[0], timed[1]);
 
     let mut t = Table::new(
         "Section 5.5 — automatic bank-conflict removal on the naive Kepler kernel",
@@ -655,10 +727,18 @@ paper (hand-applied): 68.8% 2-way / 10.6% 3-way at ~1100 GFLOPS became          
 ///
 /// Propagates simulation errors.
 pub fn throughput_db() -> Result<String, SimError> {
-    use peakperf_kernels::microbench::family::ThroughputDb;
+    use peakperf_kernels::microbench::family::{measure_spec, standard_specs, ThroughputDb};
+    let gpus = [GpuConfig::gtx580(), GpuConfig::gtx680()];
+    let jobs: Vec<(usize, peakperf_kernels::microbench::family::MixSpec)> = gpus
+        .iter()
+        .enumerate()
+        .flat_map(|(g, _)| standard_specs().into_iter().map(move |s| (g, s)))
+        .collect();
+    let references = Executor::auto().try_map(&jobs, |(g, spec)| measure_spec(&gpus[*g], spec))?;
     let mut db = ThroughputDb::new();
-    db.populate_standard(&GpuConfig::gtx580())?;
-    db.populate_standard(&GpuConfig::gtx680())?;
+    for ((g, spec), reference) in jobs.iter().zip(references) {
+        db.insert(&gpus[*g], spec, reference);
+    }
     let mut t = Table::new(
         "Section 5.5 — microbenchmark reference database (thread insts/cycle/SM)",
         &["mix", "throughput", "threads"],

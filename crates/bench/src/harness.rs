@@ -1,0 +1,96 @@
+//! A minimal bench harness (offline stand-in for Criterion).
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! `benches/` targets use this ~100-line runner instead of Criterion: each
+//! benchmark is warmed up, run for a fixed number of timed iterations, and
+//! reported as median / mean ns per iteration. Output is one line per
+//! benchmark, so CI can grep it and diffs stay readable.
+
+use std::time::Instant;
+
+/// One benchmark group; prints a header and runs registered closures.
+pub struct Bencher {
+    group: String,
+    /// Timed iterations per benchmark (after warmup).
+    pub iters: u32,
+    /// Warmup iterations.
+    pub warmup: u32,
+}
+
+impl Bencher {
+    /// Start a group with default iteration counts.
+    pub fn group(name: impl Into<String>) -> Bencher {
+        let group = name.into();
+        println!("# group {group}");
+        Bencher {
+            group,
+            iters: 10,
+            warmup: 2,
+        }
+    }
+
+    /// Set timed iterations (builder style).
+    pub fn iters(mut self, n: u32) -> Bencher {
+        self.iters = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    ///
+    /// The closure's return value is passed through `std::hint::black_box`
+    /// so the work cannot be optimized away.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples_ns.push(t0.elapsed().as_nanos());
+        }
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+        println!(
+            "{}/{name}: median {} mean {} ({} iters)",
+            self.group,
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.iters,
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_warmup_plus_iters_times() {
+        let mut count = 0u32;
+        let b = Bencher::group("t").iters(5);
+        b.bench("count", || count += 1);
+        assert_eq!(count, 5 + b.warmup);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

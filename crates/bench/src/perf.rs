@@ -1,0 +1,310 @@
+//! Structured run reports for the `reproduce` binary.
+//!
+//! Each experiment contributes wall time, executor job statistics, and the
+//! simulator's process-wide counter deltas ([`peakperf_sim::Counters`]);
+//! the whole run is rendered either as a human-readable footer or as a
+//! small JSON document (`reproduce --json <path>`), emitted without any
+//! external serialization dependency.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use peakperf_sim::Counters;
+
+use crate::exec::JobStats;
+
+/// Performance record of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentPerf {
+    /// Experiment name (the `reproduce` subcommand).
+    pub name: String,
+    /// Whether the experiment completed without error.
+    pub ok: bool,
+    /// The error message, when `ok` is false.
+    pub error: Option<String>,
+    /// Wall time of the experiment.
+    pub wall: Duration,
+    /// Executor jobs completed and their summed busy time.
+    pub jobs: JobStats,
+    /// Simulator counter growth during the experiment.
+    pub counters: Counters,
+}
+
+/// A stopwatch pairing wall time with the process-wide counter snapshots.
+pub struct PerfSpan {
+    started: Instant,
+    counters: Counters,
+    jobs: JobStats,
+}
+
+impl PerfSpan {
+    /// Start measuring.
+    pub fn begin() -> PerfSpan {
+        PerfSpan {
+            started: Instant::now(),
+            counters: Counters::snapshot(),
+            jobs: JobStats::snapshot(),
+        }
+    }
+
+    /// Finish, producing the record for `name`.
+    pub fn finish(self, name: &str, result: Result<(), String>) -> ExperimentPerf {
+        ExperimentPerf {
+            name: name.to_owned(),
+            ok: result.is_ok(),
+            error: result.err(),
+            wall: self.started.elapsed(),
+            jobs: JobStats::snapshot().delta_since(&self.jobs),
+            counters: Counters::snapshot().delta_since(&self.counters),
+        }
+    }
+}
+
+/// The whole-run report.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Worker threads the executor was configured with.
+    pub workers: usize,
+    /// Whether the timing cache was enabled.
+    pub cache_enabled: bool,
+    /// On-disk cache directory, when one was used.
+    pub cache_dir: Option<String>,
+    /// Per-experiment records, in execution order.
+    pub experiments: Vec<ExperimentPerf>,
+}
+
+impl RunReport {
+    /// Total wall time across experiments.
+    pub fn total_wall(&self) -> Duration {
+        self.experiments.iter().map(|e| e.wall).sum()
+    }
+
+    /// Summed simulator counters across experiments.
+    pub fn totals(&self) -> Counters {
+        let mut t = Counters::default();
+        for e in &self.experiments {
+            t.timing_runs += e.counters.timing_runs;
+            t.sim_cycles += e.counters.sim_cycles;
+            t.warp_instructions += e.counters.warp_instructions;
+            t.cache_hits += e.counters.cache_hits;
+            t.cache_misses += e.counters.cache_misses;
+        }
+        t
+    }
+
+    /// A human-readable footer for the text output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## Run performance ({} workers)", self.workers);
+        for e in &self.experiments {
+            let status = if e.ok { "ok" } else { "FAILED" };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>9.1} ms  {status:<6} {} sim runs, {} cache hits, \
+                 {} jobs ({:.1} ms busy)",
+                e.name,
+                e.wall.as_secs_f64() * 1e3,
+                e.counters.timing_runs,
+                e.counters.cache_hits,
+                e.jobs.jobs,
+                e.jobs.busy_ms(),
+            );
+        }
+        let totals = self.totals();
+        let _ = writeln!(
+            out,
+            "total          {:>9.1} ms         {} sim runs, {} cache hits, \
+             {} simulated cycles",
+            self.total_wall().as_secs_f64() * 1e3,
+            totals.timing_runs,
+            totals.cache_hits,
+            totals.sim_cycles,
+        );
+        out
+    }
+
+    /// Render as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"cache_enabled\": {},", self.cache_enabled);
+        match &self.cache_dir {
+            Some(dir) => {
+                let _ = writeln!(out, "  \"cache_dir\": {},", json_string(dir));
+            }
+            None => {
+                let _ = writeln!(out, "  \"cache_dir\": null,");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  \"total_wall_ms\": {},",
+            json_f64(self.total_wall().as_secs_f64() * 1e3)
+        );
+        let totals = self.totals();
+        let _ = writeln!(out, "  \"totals\": {},", counters_json(&totals, "  "));
+        out.push_str("  \"experiments\": [");
+        for (i, e) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"name\": {},", json_string(&e.name));
+            let _ = writeln!(out, "      \"ok\": {},", e.ok);
+            match &e.error {
+                Some(msg) => {
+                    let _ = writeln!(out, "      \"error\": {},", json_string(msg));
+                }
+                None => {
+                    let _ = writeln!(out, "      \"error\": null,");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "      \"wall_ms\": {},",
+                json_f64(e.wall.as_secs_f64() * 1e3)
+            );
+            let _ = writeln!(out, "      \"jobs\": {},", e.jobs.jobs);
+            let _ = writeln!(
+                out,
+                "      \"jobs_busy_ms\": {},",
+                json_f64(e.jobs.busy_ms())
+            );
+            let _ = writeln!(
+                out,
+                "      \"counters\": {}",
+                counters_json(&e.counters, "      ")
+            );
+            out.push_str("    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn counters_json(c: &Counters, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"timing_runs\": {},\n\
+         {indent}  \"sim_cycles\": {},\n\
+         {indent}  \"warp_instructions\": {},\n\
+         {indent}  \"cache_hits\": {},\n\
+         {indent}  \"cache_misses\": {}\n{indent}}}",
+        c.timing_runs, c.sim_cycles, c.warp_instructions, c.cache_hits, c.cache_misses
+    )
+}
+
+/// A JSON number: finite floats print with enough precision to round-trip;
+/// non-finite values (not expected) degrade to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escape a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            workers: 4,
+            cache_enabled: true,
+            cache_dir: None,
+            experiments: vec![
+                ExperimentPerf {
+                    name: "table1".into(),
+                    ok: true,
+                    error: None,
+                    wall: Duration::from_millis(12),
+                    jobs: JobStats {
+                        jobs: 3,
+                        busy_nanos: 9_000_000,
+                    },
+                    counters: Counters {
+                        timing_runs: 3,
+                        sim_cycles: 1000,
+                        warp_instructions: 500,
+                        cache_hits: 1,
+                        cache_misses: 2,
+                    },
+                },
+                ExperimentPerf {
+                    name: "fig2".into(),
+                    ok: false,
+                    error: Some("bad \"quote\"\nline".into()),
+                    wall: Duration::from_millis(5),
+                    jobs: JobStats::default(),
+                    counters: Counters::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"name\": \"table1\""));
+        assert!(json.contains("\\\"quote\\\"\\nline"));
+        assert!(json.contains("\"timing_runs\": 3"));
+        // Balanced braces/brackets (a cheap well-formedness check, since
+        // there is no JSON parser in the dependency set).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("\",}"));
+    }
+
+    #[test]
+    fn totals_sum_experiments() {
+        let report = sample();
+        let totals = report.totals();
+        assert_eq!(totals.timing_runs, 3);
+        assert_eq!(totals.cache_hits, 1);
+        assert_eq!(report.total_wall(), Duration::from_millis(17));
+    }
+
+    #[test]
+    fn text_footer_mentions_failures() {
+        let text = sample().render_text();
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("table1"));
+    }
+
+    #[test]
+    fn string_escaping_covers_controls() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("x\\y"), "\"x\\\\y\"");
+    }
+
+    #[test]
+    fn span_measures_monotonically() {
+        let span = PerfSpan::begin();
+        let perf = span.finish("t", Ok(()));
+        assert!(perf.ok);
+        assert!(perf.error.is_none());
+    }
+}

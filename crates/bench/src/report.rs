@@ -58,10 +58,13 @@ impl Table {
                 }
                 let cell = &cells[i];
                 // Right-align numeric-looking cells.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
-                    && cell.chars().all(|c| {
-                        c.is_ascii_digit() || matches!(c, '.' | '-' | '%' | 'x' | ':')
-                    })
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-')
+                    && cell
+                        .chars()
+                        .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '%' | 'x' | ':'))
                 {
                     line.push_str(&format!("{cell:>width$}", width = widths[i]));
                 } else {

@@ -1,0 +1,52 @@
+//! Calibration gate: the simulated Table 2 must track the paper's
+//! GTX680 hardware measurements within an explicit tolerance band.
+//!
+//! The worst rows today are the conflict-free 2-source streams (FADD/
+//! FMUL/IADD `R0, R1, R2`, 4.7% under): the generator only emits the
+//! dual-issue control flag on 3-source instructions, so those streams
+//! stay at the 4-issue/cycle cap instead of the 33-token/8-cycle
+//! ceiling. Everything else is within 4%.
+
+use peakperf_arch::GpuConfig;
+use peakperf_bench::experiments::TABLE2_PAPER;
+use peakperf_kernels::microbench::math::{measure_math, measure_table2, table2_patterns, MathOp};
+
+/// Every Table 2 row must be within this relative tolerance of the
+/// paper's measurement.
+const TABLE2_TOLERANCE: f64 = 0.06;
+
+/// The headline distinct-bank FFMA row gets a tighter gate: the issue
+/// ceiling (132.0) is the quantity DESIGN.md section 5 calibrates.
+const FFMA_TOLERANCE: f64 = 0.035;
+
+#[test]
+fn table2_tracks_paper_within_tolerance() {
+    let rows = measure_table2(&GpuConfig::gtx680()).unwrap();
+    assert_eq!(rows.len(), TABLE2_PAPER.len());
+    for (row, paper) in rows.iter().zip(TABLE2_PAPER) {
+        let rel = (row.throughput - paper).abs() / paper;
+        assert!(
+            rel <= TABLE2_TOLERANCE,
+            "{}: measured {:.1} vs paper {paper:.1} ({:+.1}%)",
+            row.pattern.label(),
+            row.throughput,
+            100.0 * (row.throughput / paper - 1.0),
+        );
+    }
+}
+
+#[test]
+fn ffma_distinct_bank_hits_issue_ceiling() {
+    let pattern = table2_patterns()
+        .into_iter()
+        .find(|p| p.op == MathOp::Ffma && p.label() == "FFMA R0, R1, R4, R5")
+        .unwrap();
+    let row = measure_math(&GpuConfig::gtx680(), &pattern).unwrap();
+    let rel = (row.throughput - 132.0).abs() / 132.0;
+    assert!(
+        rel <= FFMA_TOLERANCE,
+        "distinct-bank FFMA {:.1} is {:+.1}% off the 132 issue ceiling",
+        row.throughput,
+        100.0 * (row.throughput / 132.0 - 1.0),
+    );
+}

@@ -1,0 +1,74 @@
+//! End-to-end tests of the `reproduce` binary: determinism across
+//! worker counts, up-front experiment-name validation, and the JSON
+//! report.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("failed to launch reproduce")
+}
+
+#[test]
+fn output_is_identical_across_worker_counts() {
+    // table1 and fig3 are analytical (no simulation), upperbound is the
+    // bound model: the full pipeline, cheap enough for a test.
+    let one = reproduce(&[
+        "--workers",
+        "1",
+        "--no-cache",
+        "table1",
+        "fig3",
+        "upperbound",
+    ]);
+    let four = reproduce(&[
+        "--workers",
+        "4",
+        "--no-cache",
+        "table1",
+        "fig3",
+        "upperbound",
+    ]);
+    assert!(one.status.success(), "workers=1 run failed");
+    assert!(four.status.success(), "workers=4 run failed");
+    assert_eq!(
+        one.stdout, four.stdout,
+        "stdout must be byte-identical regardless of worker count"
+    );
+}
+
+#[test]
+fn unknown_names_are_rejected_before_any_work() {
+    let out = reproduce(&["table1", "nope", "fig3", "also-nope"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("nope"),
+        "stderr should name the bad experiment: {err}"
+    );
+    assert!(
+        err.contains("also-nope"),
+        "stderr should list every bad name: {err}"
+    );
+    // Nothing ran: no experiment output on stdout.
+    assert!(
+        out.stdout.is_empty(),
+        "no experiment may run on a bad invocation"
+    );
+}
+
+#[test]
+fn json_report_is_written_and_well_formed() {
+    let dir = std::env::temp_dir().join(format!("peakperf-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    let out = reproduce(&["--json", path.to_str().unwrap(), "table1"]);
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"experiments\""));
+    assert!(json.contains("\"table1\""));
+    assert!(json.contains("\"ok\": true"));
+    std::fs::remove_dir_all(&dir).ok();
+}

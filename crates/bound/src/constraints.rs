@@ -52,7 +52,7 @@ pub fn stride_is_valid(config: &SgemmConfig) -> bool {
     if root * root != config.tb {
         return false;
     }
-    (root * config.br * config.l) % config.tb == 0
+    (root * config.br * config.l).is_multiple_of(config.tb)
 }
 
 /// Equation 4 (strict form): per-thread registers required with

@@ -37,9 +37,8 @@ mod whatif;
 
 pub use blocking::{ffma_fraction, ffma_lds_ratio};
 pub use constraints::{
-    max_blocking_factor, occupancy, registers_detailed, registers_required,
-    shared_bytes_per_block, stride_is_valid,
-    SgemmConfig,
+    max_blocking_factor, occupancy, registers_detailed, registers_required, shared_bytes_per_block,
+    stride_is_valid, SgemmConfig,
 };
 pub use estimates::{paper_reference, PaperNumbers};
 pub use model::{BoundEstimate, Limiter, UpperBoundModel};

@@ -34,32 +34,52 @@ pub struct SweepEntry {
 /// strides 8..=32 in steps of 8, and the three LDS widths — comfortably
 /// containing every configuration the paper discusses.
 pub fn sweep(model: &UpperBoundModel) -> Vec<SweepEntry> {
-    let mut out = Vec::new();
+    let mut candidates = Vec::new();
     for br in 1..=8u32 {
         for tb in [64u32, 144, 256, 400, 576, 1024] {
             for l in [8u32, 16, 24, 32] {
                 for width in LdsWidth::ALL {
-                    let config = SgemmConfig { br, tb, l, width };
-                    if !stride_is_valid(&config) {
-                        continue;
-                    }
-                    let Some((blocks, threads)) = occupancy(model.gpu(), &config) else {
-                        continue;
-                    };
-                    let Some(estimate) = model.sgemm_bound(&config) else {
-                        continue;
-                    };
-                    out.push(SweepEntry {
-                        regs_per_thread: registers_required(&config),
-                        shared_per_block: shared_bytes_per_block(&config),
-                        blocks_per_sm: blocks,
-                        threads_per_sm: threads,
-                        estimate,
-                    });
+                    candidates.push(SgemmConfig { br, tb, l, width });
                 }
             }
         }
     }
+
+    let evaluate = |config: &SgemmConfig| -> Option<SweepEntry> {
+        if !stride_is_valid(config) {
+            return None;
+        }
+        let (blocks, threads) = occupancy(model.gpu(), config)?;
+        let estimate = model.sgemm_bound(config)?;
+        Some(SweepEntry {
+            regs_per_thread: registers_required(config),
+            shared_per_block: shared_bytes_per_block(config),
+            blocks_per_sm: blocks,
+            threads_per_sm: threads,
+            estimate,
+        })
+    };
+
+    // Evaluate candidates on scoped worker threads, one contiguous chunk
+    // each; chunks are concatenated in enumeration order, so the result
+    // (including the stable tie-breaking sort below) is identical to the
+    // serial loop whatever the thread count.
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(candidates.len().max(1));
+    let mut out: Vec<SweepEntry> = if workers <= 1 {
+        candidates.iter().filter_map(evaluate).collect()
+    } else {
+        let chunk = candidates.len().div_ceil(workers);
+        let chunks: Vec<Vec<SweepEntry>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().filter_map(evaluate).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        chunks.into_iter().flatten().collect()
+    };
     // Rank by bound; break ties toward configurations with at least two
     // resident blocks (so computation overlaps across barriers), then more
     // resident threads (latency hiding, Figure 4), then larger blocks.

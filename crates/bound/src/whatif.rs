@@ -9,7 +9,9 @@
 
 use peakperf_arch::{GpuConfig, LdsWidth};
 
-use crate::constraints::{registers_required, shared_bytes_per_block, stride_is_valid, SgemmConfig};
+use crate::constraints::{
+    registers_required, shared_bytes_per_block, stride_is_valid, SgemmConfig,
+};
 use crate::model::UpperBoundModel;
 
 /// The bound under a hypothetical per-thread register limit.
@@ -63,13 +65,10 @@ pub fn register_limit_sweep(gpu: &GpuConfig, limits: &[u32]) -> Vec<RegisterLimi
                             // (occupancy was checked by hand above because
                             // the architectural limit differs).
                             let sm = model.sm_bound_fraction(&config);
-                            let mem = model.mem_bound_gflops(&config)
-                                / gpu.theoretical_peak_gflops();
+                            let mem =
+                                model.mem_bound_gflops(&config) / gpu.theoretical_peak_gflops();
                             let fraction = sm.min(mem);
-                            if best
-                                .as_ref()
-                                .is_none_or(|b| fraction > b.fraction_of_peak)
-                            {
+                            if best.as_ref().is_none_or(|b| fraction > b.fraction_of_peak) {
                                 best = Some(RegisterLimitPoint {
                                     max_regs,
                                     best_br: br,

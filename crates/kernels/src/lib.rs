@@ -22,6 +22,7 @@
 pub mod cpu;
 pub mod matrix;
 pub mod microbench;
+pub mod rng;
 pub mod sgemm;
 
 pub use peakperf_arch::Generation;

@@ -1,9 +1,8 @@
 //! Host-side matrix utilities: generation, upload, and comparison.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use peakperf_sim::{GlobalMemory, SimError};
+
+use crate::rng::Rng;
 
 /// A column-major host matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,9 +34,9 @@ impl Matrix {
     /// the simulator and CPU reference can be compared with tight
     /// tolerances.
     pub fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let data = (0..rows * cols)
-            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .map(|_| rng.gen_range_f32(-1.0, 1.0))
             .collect();
         Matrix {
             rows,

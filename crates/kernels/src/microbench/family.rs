@@ -79,11 +79,7 @@ impl MixSpec {
 
     /// A stable label for reports (`LDS.64:1+FFMA:6 dep`).
     pub fn label(&self) -> String {
-        let parts: Vec<String> = self
-            .parts
-            .iter()
-            .map(|(c, n)| format!("{c}:{n}"))
-            .collect();
+        let parts: Vec<String> = self.parts.iter().map(|(c, n)| format!("{c}:{n}")).collect();
         format!(
             "{}{}",
             parts.join("+"),
@@ -198,6 +194,55 @@ pub struct Reference {
     pub threads: u32,
 }
 
+/// Measure a spec on a GPU (uncached — [`ThroughputDb::measure`] adds the
+/// memoization layer).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_spec(gpu: &GpuConfig, spec: &MixSpec) -> Result<Reference, SimError> {
+    // Enough groups that the loop overhead (3 instructions) is noise.
+    let groups = (120 / spec.group_len().max(1)).max(4);
+    let kernel = generate(gpu.generation, spec, groups, 12)?;
+    let threads = 1024.min(gpu.max_threads_per_block);
+    let blocks = (gpu.max_threads_per_sm / threads).clamp(1, 2);
+    let report = run_on_sm(gpu, &kernel, threads, blocks)?;
+    let useful = report.mix.count("FFMA")
+        + report.mix.count("IADD")
+        + report.mix.count("IMAD")
+        + report.mix.count_prefix("LDS");
+    Ok(Reference {
+        throughput: useful as f64 * 32.0 / report.cycles.max(1) as f64,
+        threads: threads * blocks,
+    })
+}
+
+/// The standard family [`ThroughputDb::populate_standard`] measures: pure
+/// streams of every component plus the FFMA/LDS mixes the SGEMM analysis
+/// needs. Exposed so callers can fan the measurements out in parallel and
+/// [`ThroughputDb::insert`] the results.
+pub fn standard_specs() -> Vec<MixSpec> {
+    let mut specs: Vec<MixSpec> = [
+        Component::Ffma,
+        Component::FfmaConflicted(2),
+        Component::FfmaConflicted(3),
+        Component::Iadd,
+        Component::Imad,
+        Component::Lds(LdsWidth::B32),
+        Component::Lds(LdsWidth::B64),
+        Component::Lds(LdsWidth::B128),
+    ]
+    .into_iter()
+    .map(MixSpec::pure)
+    .collect();
+    for width in LdsWidth::ALL {
+        for ratio in [3u32, 6, 12] {
+            specs.push(MixSpec::ffma_lds(ratio, width, true));
+        }
+    }
+    specs
+}
+
 /// The database of performance references the Section 5.5 auto-tuner would
 /// consult.
 #[derive(Debug, Clone, Default)]
@@ -226,56 +271,31 @@ impl ThroughputDb {
     /// # Errors
     ///
     /// Propagates simulation errors.
-    pub fn measure(
-        &mut self,
-        gpu: &GpuConfig,
-        spec: &MixSpec,
-    ) -> Result<Reference, SimError> {
+    pub fn measure(&mut self, gpu: &GpuConfig, spec: &MixSpec) -> Result<Reference, SimError> {
         let key = format!("{}/{}", gpu.name, spec.label());
         if let Some(r) = self.entries.get(&key) {
             return Ok(r.clone());
         }
-        // Enough groups that the loop overhead (3 instructions) is noise.
-        let groups = (120 / spec.group_len().max(1)).max(4);
-        let kernel = generate(gpu.generation, spec, groups, 12)?;
-        let threads = 1024.min(gpu.max_threads_per_block);
-        let blocks = (gpu.max_threads_per_sm / threads).clamp(1, 2);
-        let report = run_on_sm(gpu, &kernel, threads, blocks)?;
-        let useful = report.mix.count("FFMA")
-            + report.mix.count("IADD")
-            + report.mix.count("IMAD")
-            + report.mix.count_prefix("LDS");
-        let reference = Reference {
-            throughput: useful as f64 * 32.0 / report.cycles.max(1) as f64,
-            threads: threads * blocks,
-        };
+        let reference = measure_spec(gpu, spec)?;
         self.entries.insert(key, reference.clone());
         Ok(reference)
     }
 
-    /// Populate the standard family for one GPU: pure streams of every
-    /// component plus the FFMA/LDS mixes the SGEMM analysis needs.
+    /// Insert a reference measured elsewhere (e.g. by [`measure_spec`] on a
+    /// worker thread) under the standard `gpu/spec` key.
+    pub fn insert(&mut self, gpu: &GpuConfig, spec: &MixSpec, reference: Reference) {
+        self.entries
+            .insert(format!("{}/{}", gpu.name, spec.label()), reference);
+    }
+
+    /// Populate the standard family ([`standard_specs`]) for one GPU.
     ///
     /// # Errors
     ///
     /// Propagates simulation errors.
     pub fn populate_standard(&mut self, gpu: &GpuConfig) -> Result<(), SimError> {
-        for component in [
-            Component::Ffma,
-            Component::FfmaConflicted(2),
-            Component::FfmaConflicted(3),
-            Component::Iadd,
-            Component::Imad,
-            Component::Lds(LdsWidth::B32),
-            Component::Lds(LdsWidth::B64),
-            Component::Lds(LdsWidth::B128),
-        ] {
-            self.measure(gpu, &MixSpec::pure(component))?;
-        }
-        for width in LdsWidth::ALL {
-            for ratio in [3u32, 6, 12] {
-                self.measure(gpu, &MixSpec::ffma_lds(ratio, width, true))?;
-            }
+        for spec in standard_specs() {
+            self.measure(gpu, &spec)?;
         }
         Ok(())
     }

@@ -80,7 +80,13 @@ impl MathPattern {
                 self.c
             )
         } else {
-            format!("{} {}, {}, {}", self.op.mnemonic(), self.dst, self.a, self.b)
+            format!(
+                "{} {}, {}, {}",
+                self.op.mnemonic(),
+                self.dst,
+                self.a,
+                self.b
+            )
         }
     }
 
@@ -167,6 +173,18 @@ pub fn build_math_kernel(
     let counter = Reg::r(30);
     b.mov32i(counter, iters);
     let top = b.label_here();
+    // Decrement and test at the loop top, the way compilers schedule
+    // unrolled loops: the math block then covers the IADD->ISETP->BRA
+    // dependence latency, instead of every warp bubbling on it at the
+    // bottom of each iteration.
+    if generation.uses_control_notation() {
+        b.with_ctl(CtlInfo::stall(1));
+    }
+    b.iadd(counter, counter, -1);
+    if generation.uses_control_notation() {
+        b.with_ctl(CtlInfo::stall(1));
+    }
+    b.isetp(Pred::p(0), CmpOp::Gt, counter, 0);
     for k in 0..unroll {
         // Rotate destinations over R24..R27 unless the pattern aliases the
         // destination onto a source — then keep it, to preserve the
@@ -180,12 +198,30 @@ pub fn build_math_kernel(
             Reg::r(24 + (k % 4) as u8)
         };
         if generation.uses_control_notation() {
-            b.with_ctl(CtlInfo::stall(1));
+            // Schedule the stream the way `cuobjdump` shows compiled Kepler
+            // math streams: consecutive independent instructions form dual
+            // pairs (dual flag on the leader, the trailer's stall pacing the
+            // pair), which lets the per-scheduler second dispatch slot work
+            // and the issue rate reach the 33/8-token ceiling of 132
+            // thread-insts/cycle instead of the 4-issue cap of 128.
+            //
+            // Only 3-source patterns (FFMA/IMAD) are paired: a dual flag on
+            // a 2-source instruction means its operands fit the reuse path
+            // of the paper's Section 3.3 "carefully designed" streams and
+            // would be charged the discounted issue-token cost (176/cycle),
+            // which Table 2's plain 2-source streams do not reach.
+            let ctl = if pattern.op.has_three_sources() && k % 2 == 0 {
+                CtlInfo::dual_stall(1)
+            } else {
+                CtlInfo::stall(1)
+            };
+            b.with_ctl(ctl);
         }
         pattern.emit(&mut b, dst);
     }
-    b.iadd(counter, counter, -1);
-    b.isetp(Pred::p(0), CmpOp::Gt, counter, 0);
+    if generation.uses_control_notation() {
+        b.with_ctl(CtlInfo::stall(1));
+    }
     b.bra_if(Pred::p(0), false, top);
     b.exit();
     b.finish().map_err(SimError::from)
@@ -207,9 +243,13 @@ pub struct MathThroughput {
 ///
 /// Propagates simulation errors.
 pub fn measure_math(gpu: &GpuConfig, pattern: &MathPattern) -> Result<MathThroughput, SimError> {
-    let kernel = build_math_kernel(gpu.generation, pattern, 128, 24)?;
+    // 256 instances per iteration keeps the loop-control overhead (three
+    // unannotated tail instructions) close to 1%, so the conflict-free
+    // patterns can approach their issue ceilings; 12 iterations keeps the
+    // total instruction count the same as the previous 128x24 shape.
+    let kernel = build_math_kernel(gpu.generation, pattern, 256, 12)?;
     let threads = 1024.min(gpu.max_threads_per_block);
-    let blocks = (gpu.max_threads_per_sm / threads).min(2).max(1);
+    let blocks = (gpu.max_threads_per_sm / threads).clamp(1, 2);
     let report = run_on_sm(gpu, &kernel, threads, blocks)?;
     Ok(MathThroughput {
         pattern: *pattern,
@@ -250,8 +290,11 @@ mod tests {
 
     #[test]
     fn ffma_conflict_free_reaches_132() {
+        // Paper: 132.0 (the 33-token/8-cycle issue ceiling). Measured:
+        // 129.4 — about 2% under, from the unannotated loop tail and the
+        // start/drain transient. The band is ±3.5% around the paper value.
         let t = tp(find(MathOp::Ffma, 4, 5));
-        assert!((120.0..=136.0).contains(&t), "FFMA R0,R1,R4,R5 -> {t}");
+        assert!((127.4..=136.6).contains(&t), "FFMA R0,R1,R4,R5 -> {t}");
     }
 
     #[test]

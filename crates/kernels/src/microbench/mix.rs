@@ -2,7 +2,7 @@
 
 use peakperf_arch::{Generation, GpuConfig, LdsWidth};
 use peakperf_sass::{
-    CmpOp, CtlInfo, KernelBuilder, Kernel, MemSpace, MemWidth, Operand, Pred, Reg, SpecialReg,
+    CmpOp, CtlInfo, Kernel, KernelBuilder, MemSpace, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
 use peakperf_sim::SimError;
 
@@ -23,10 +23,7 @@ pub fn build_mix_kernel(
     iters: u32,
 ) -> Result<Kernel, SimError> {
     let width = MemWidth::from(width);
-    let mut b = KernelBuilder::new(
-        format!("mix_{}to1{}", ratio, width.suffix()),
-        generation,
-    );
+    let mut b = KernelBuilder::new(format!("mix_{}to1{}", ratio, width.suffix()), generation);
     // Threads need (threads * width.bytes()) shared bytes; sized for 1024.
     b.shared_bytes(1024 * width.bytes());
 
@@ -91,7 +88,7 @@ pub struct MixPoint {
 pub fn measure_mix(gpu: &GpuConfig, ratio: u32, width: LdsWidth) -> Result<MixPoint, SimError> {
     let kernel = build_mix_kernel(gpu.generation, ratio, width, 12, 16)?;
     let threads = 1024.min(gpu.max_threads_per_block);
-    let blocks = (gpu.max_threads_per_sm / threads).min(2).max(1);
+    let blocks = (gpu.max_threads_per_sm / threads).clamp(1, 2);
     let report = run_on_sm(gpu, &kernel, threads, blocks)?;
     let useful = report.mix.count("FFMA") + report.mix.count_prefix("LDS");
     Ok(MixPoint {

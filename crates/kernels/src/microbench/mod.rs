@@ -24,6 +24,10 @@ use peakperf_sim::{GlobalMemory, LaunchConfig, SimError};
 /// Run a microbenchmark kernel on one SM with `blocks` resident blocks of
 /// `threads` threads and return the timing report.
 ///
+/// Microbenchmarks never inspect memory afterwards, so this goes through
+/// the (opt-in) timing cache — identical patterns re-timed across figures
+/// are answered without re-simulating.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -41,7 +45,7 @@ pub fn run_on_sm(
         &[],
         blocks,
     )?;
-    sim.run(&mut memory)
+    sim.run_cached(&mut memory)
 }
 
 /// Thread-instruction throughput (per shader cycle per SM) of the

@@ -8,7 +8,7 @@
 
 use peakperf_arch::{Generation, GpuConfig};
 use peakperf_sass::{
-    CmpOp, CtlInfo, KernelBuilder, Kernel, MemSpace, MemWidth, Operand, Pred, Reg, SpecialReg,
+    CmpOp, CtlInfo, Kernel, KernelBuilder, MemSpace, MemWidth, Operand, Pred, Reg, SpecialReg,
 };
 use peakperf_sim::SimError;
 
@@ -140,10 +140,7 @@ pub fn measure_threads(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn sweep_threads(
-    gpu: &GpuConfig,
-    dep: Dependence,
-) -> Result<Vec<ThreadsPoint>, SimError> {
+pub fn sweep_threads(gpu: &GpuConfig, dep: Dependence) -> Result<Vec<ThreadsPoint>, SimError> {
     let max = gpu.max_threads_per_sm;
     let mut out = Vec::new();
     let mut t = 32;
@@ -220,12 +217,11 @@ mod tests {
     #[test]
     fn throughput_is_monotonic_in_threads() {
         let gpu = GpuConfig::gtx580();
-        let pts = [64, 128, 256, 512]
-            .map(|t| {
-                measure_threads(&gpu, Dependence::Dependent, t)
-                    .unwrap()
-                    .throughput
-            });
+        let pts = [64, 128, 256, 512].map(|t| {
+            measure_threads(&gpu, Dependence::Dependent, t)
+                .unwrap()
+                .throughput
+        });
         for w in pts.windows(2) {
             assert!(w[1] + 0.5 >= w[0], "{pts:?}");
         }

@@ -21,8 +21,7 @@
 use peakperf_arch::Generation;
 use peakperf_regalloc::SgemmPlan;
 use peakperf_sass::{
-    CmpOp, CtlInfo, KernelBuilder, MemSpace, MemWidth, Op, OpClass, Operand, Pred, Reg,
-    SpecialReg,
+    CmpOp, CtlInfo, KernelBuilder, MemSpace, MemWidth, Op, OpClass, Operand, Pred, Reg, SpecialReg,
 };
 use peakperf_sim::{LaunchConfig, SimError};
 
@@ -191,7 +190,7 @@ pub fn build_blocked(
     problem: &SgemmProblem,
     opts: &BlockedOptions,
 ) -> Result<SgemmBuild, SimError> {
-    if problem.m % BM != 0 || problem.n % BM != 0 {
+    if !problem.m.is_multiple_of(BM) || !problem.n.is_multiple_of(BM) {
         return Err(SimError::Launch {
             message: format!(
                 "blocked sgemm requires m, n multiples of {BM}, got {}x{}",
@@ -199,7 +198,7 @@ pub fn build_blocked(
             ),
         });
     }
-    if problem.k == 0 || problem.k % L != 0 {
+    if problem.k == 0 || !problem.k.is_multiple_of(L) {
         return Err(SimError::Launch {
             message: format!("blocked sgemm requires k a positive multiple of {L}"),
         });
@@ -322,6 +321,7 @@ impl Emitter {
 
     /// Prologue cursor setup for one operand. Uses `s0..s3` scratch
     /// registers (tx, ty, and two temporaries).
+    #[allow(clippy::too_many_arguments)]
     fn setup_cursors(
         &mut self,
         loader: &LoaderPlan,
@@ -400,8 +400,26 @@ impl Emitter {
             b.shr(ty, s_tid, 4);
         }
         let (p_a, p_b) = (self.p_a, self.p_b);
-        self.setup_cursors(a_loader, p_a, addr.a_global, addr.a_smem_store, tx, ty, t0, t1);
-        self.setup_cursors(b_loader, p_b, addr.b_global, addr.b_smem_store, tx, ty, t0, t1);
+        self.setup_cursors(
+            a_loader,
+            p_a,
+            addr.a_global,
+            addr.a_smem_store,
+            tx,
+            ty,
+            t0,
+            t1,
+        );
+        self.setup_cursors(
+            b_loader,
+            p_b,
+            addr.b_global,
+            addr.b_smem_store,
+            tx,
+            ty,
+            t0,
+            t1,
+        );
         {
             let b = &mut self.builder;
             // Main-loop shared cursors: A at tx*24, B at TILE_BYTES + ty*24.
@@ -433,40 +451,41 @@ impl Emitter {
         // --- Main loop ---------------------------------------------------
         // Queue of interleavable work: the address updates and next-tile
         // prefetch loads, spread across the k-steps when interleaving.
-        let mut side_ops: Vec<(Option<Pred>, Op)> = Vec::new();
-        side_ops.push((
-            None,
-            Op::Iadd {
-                dst: addr.loop_end,
-                a: addr.loop_end,
-                b: Operand::Imm(-1),
-            },
-        ));
-        side_ops.push((
-            None,
-            Op::Isetp {
-                p: Pred::p(1),
-                cmp: CmpOp::Gt,
-                a: addr.loop_end,
-                b: Operand::Imm(0),
-            },
-        ));
-        side_ops.push((
-            None,
-            Op::Iadd {
-                dst: addr.a_global,
-                a: addr.a_global,
-                b: Operand::Imm(a_loader.cursor_step()),
-            },
-        ));
-        side_ops.push((
-            None,
-            Op::Iadd {
-                dst: addr.b_global,
-                a: addr.b_global,
-                b: Operand::Imm(b_loader.cursor_step()),
-            },
-        ));
+        let mut side_ops: Vec<(Option<Pred>, Op)> = vec![
+            (
+                None,
+                Op::Iadd {
+                    dst: addr.loop_end,
+                    a: addr.loop_end,
+                    b: Operand::Imm(-1),
+                },
+            ),
+            (
+                None,
+                Op::Isetp {
+                    p: Pred::p(1),
+                    cmp: CmpOp::Gt,
+                    a: addr.loop_end,
+                    b: Operand::Imm(0),
+                },
+            ),
+            (
+                None,
+                Op::Iadd {
+                    dst: addr.a_global,
+                    a: addr.a_global,
+                    b: Operand::Imm(a_loader.cursor_step()),
+                },
+            ),
+            (
+                None,
+                Op::Iadd {
+                    dst: addr.b_global,
+                    a: addr.b_global,
+                    b: Operand::Imm(b_loader.cursor_step()),
+                },
+            ),
+        ];
         let pf_ops: Vec<Op> = self
             .prefetch_steps(a_loader, addr.a_global, &pf_a)
             .into_iter()
@@ -509,11 +528,8 @@ impl Emitter {
         if self.opts.hoist_addresses {
             // Compiler-style: everything at the loop head.
             for (pred, op) in side_iter.by_ref() {
-                match pred {
-                    Some(p) => {
-                        self.builder.with_pred(p, false);
-                    }
-                    None => {}
+                if let Some(p) = pred {
+                    self.builder.with_pred(p, false);
                 }
                 self.builder.push(op);
             }
@@ -557,13 +573,13 @@ impl Emitter {
             // Three B pairs, each feeding 12 FFMAs.
             for chunk in 0..3 {
                 self.lds64(b_row[0], addr.b_smem, koff + chunk * 8);
-                for i in 0..6 {
+                for (i, &a) in a_col.iter().enumerate().take(6) {
                     for jj in 0..2 {
                         let j = (chunk * 2 + jj) as usize;
                         let c = self.plan.c[i][j];
                         let ctl = self.ffma_ctl();
                         self.builder.with_ctl(ctl);
-                        self.builder.ffma(c, a_col[i], Operand::Reg(b_row[jj as usize]), c);
+                        self.builder.ffma(c, a, Operand::Reg(b_row[jj as usize]), c);
                     }
                 }
             }
@@ -626,12 +642,12 @@ impl Emitter {
             }
             let p_beta = self.p_beta;
             let p_alpha = self.p_alpha;
-            for w in 0..6 {
-                self.builder.fmul(pf_a[w], pf_a[w], p_beta);
+            for &r in pf_a.iter().take(6) {
+                self.builder.fmul(r, r, p_beta);
             }
-            for w in 0..6 {
+            for (w, &r) in pf_a.iter().enumerate().take(6) {
                 let acc = self.plan.c[w][j];
-                self.builder.ffma(pf_a[w], acc, p_alpha, pf_a[w]);
+                self.builder.ffma(r, acc, p_alpha, r);
             }
             for p in 0..3 {
                 self.builder.st(
@@ -700,6 +716,7 @@ mod tests {
     use crate::sgemm::{run_sgemm, Preset, Variant};
     use peakperf_sim::Gpu;
 
+    #[allow(clippy::too_many_arguments)]
     fn verify(
         generation: Generation,
         variant: Variant,
@@ -712,7 +729,11 @@ mod tests {
     ) {
         let problem = SgemmProblem { variant, m, n, k };
         let build = super::super::build_preset(generation, &problem, preset).unwrap();
-        assert!(build.kernel.num_regs <= 63, "uses {}", build.kernel.num_regs);
+        assert!(
+            build.kernel.num_regs <= 63,
+            "uses {}",
+            build.kernel.num_regs
+        );
         let (ar, ac) = problem.a_shape();
         let (br, bc) = problem.b_shape();
         let a = Matrix::random(ar, ac, 11);
@@ -814,16 +835,7 @@ mod tests {
     #[test]
     fn degraded_presets_stay_correct() {
         for preset in [Preset::AsmNaiveRegs, Preset::CublasLike, Preset::MagmaLike] {
-            verify(
-                Generation::Fermi,
-                Variant::NN,
-                96,
-                96,
-                16,
-                preset,
-                1.0,
-                0.0,
-            );
+            verify(Generation::Fermi, Variant::NN, 96, 96, 16, preset, 1.0, 0.0);
         }
     }
 
@@ -876,7 +888,10 @@ mod tests {
         let (o1, o2, o3) = opt.conflict_census();
         let (_, v2, v3) = nvcc.conflict_census();
         assert_eq!((o1, o2, o3), (36, 0, 0));
-        assert!(n2 + n3 > v2 + v3, "naive should conflict more than nvcc-like");
+        assert!(
+            n2 + n3 > v2 + v3,
+            "naive should conflict more than nvcc-like"
+        );
         let nvcc_frac = (v2 + v3) as f64 / 36.0;
         assert!(
             (0.15..=0.5).contains(&nvcc_frac),

@@ -14,7 +14,7 @@ pub use blocked::{build_blocked, BlockedOptions, CtlMode, PlanKind};
 pub use naive::build_naive;
 
 use peakperf_sass::Kernel;
-use peakperf_sim::{FuncStats, Gpu, GlobalMemory, LaunchConfig, SimError};
+use peakperf_sim::{FuncStats, GlobalMemory, Gpu, LaunchConfig, SimError};
 
 pub use crate::cpu::{Trans, Variant};
 use crate::matrix::Matrix;
@@ -250,6 +250,6 @@ pub fn upload_problem(
     let b = Matrix::random(br, bc, seed + 1);
     let a_addr = a.upload(memory)?;
     let b_addr = b.upload(memory)?;
-    let c_addr = memory.alloc_zeroed((problem.m * problem.n * 4) as u32)?;
+    let c_addr = memory.alloc_zeroed(problem.m * problem.n * 4)?;
     Ok((a_addr, b_addr, c_addr))
 }

@@ -19,11 +19,8 @@ const TILE: u32 = 16;
 ///
 /// Returns [`SimError::Launch`] when `m`/`n` are not multiples of 16 or
 /// `k` is zero, and propagates builder failures.
-pub fn build_naive(
-    generation: Generation,
-    problem: &SgemmProblem,
-) -> Result<SgemmBuild, SimError> {
-    if problem.m % TILE != 0 || problem.n % TILE != 0 || problem.k == 0 {
+pub fn build_naive(generation: Generation, problem: &SgemmProblem) -> Result<SgemmBuild, SimError> {
+    if !problem.m.is_multiple_of(TILE) || !problem.n.is_multiple_of(TILE) || problem.k == 0 {
         return Err(SimError::Launch {
             message: format!(
                 "naive sgemm requires m, n multiples of {TILE} and k > 0, got {}x{}x{}",
@@ -70,16 +67,16 @@ pub fn build_naive(
 
     // A cursor: element (row, 0) of op(A); per-k step stride.
     let (a_init_scale, a_step) = match ta {
-        Trans::N => (1i32, lda * 4),    // addr = a + row*4,     += lda*4
-        Trans::T => (lda, 4),           // addr = a + row*lda*4, += 4
+        Trans::N => (1i32, lda * 4), // addr = a + row*4,     += lda*4
+        Trans::T => (lda, 4),        // addr = a + row*lda*4, += 4
     };
     b.mov(r_a, p_a);
     b.imul(r_tmp, r_row, a_init_scale * 4);
     b.iadd(r_a, r_tmp, Reg::r(4));
     // B cursor: element (0, col) of op(B).
     let (b_init_scale, b_step) = match tb {
-        Trans::N => (ldb, 4),           // addr = b + col*ldb*4, += 4
-        Trans::T => (1i32, ldb * 4),    // addr = b + col*4,     += ldb*4
+        Trans::N => (ldb, 4),        // addr = b + col*ldb*4, += 4
+        Trans::T => (1i32, ldb * 4), // addr = b + col*4,     += ldb*4
     };
     b.mov(r_b, p_b);
     b.imul(r_tmp, r_col, b_init_scale * 4);

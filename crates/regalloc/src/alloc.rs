@@ -278,9 +278,10 @@ pub fn solve(problem: &AllocProblem) -> Result<HashMap<VReg, Reg>, RegAllocError
                 let group = &problem.wide_groups[*gi];
                 let len = group.len() as u8;
                 // If any member is pinned, the whole placement is forced.
-                let forced_base = group.iter().enumerate().find_map(|(i, v)| {
-                    assignment.get(v).map(|r| r.index().wrapping_sub(i as u8))
-                });
+                let forced_base = group
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, v)| assignment.get(v).map(|r| r.index().wrapping_sub(i as u8)));
                 let candidates: Vec<u8> = match forced_base {
                     Some(b) => vec![b],
                     None => (0..=Reg::MAX_INDEX)

@@ -135,10 +135,10 @@ mod tests {
     #[test]
     fn census_counts() {
         let code = vec![
-            ffma(1, 4, 5),  // free
-            ffma(1, 3, 5),  // 2-way
-            ffma(1, 3, 9),  // 3-way
-            ffma(2, 4, 7),  // free
+            ffma(1, 4, 5), // free
+            ffma(1, 3, 5), // 2-way
+            ffma(1, 3, 9), // 3-way
+            ffma(2, 4, 7), // free
             Instruction::new(Op::Exit),
         ];
         let r = analyze_ffma_conflicts(&code);
@@ -154,7 +154,10 @@ mod tests {
         let inst = Instruction::new(Op::Ffma {
             dst: Reg::r(0),
             a: Reg::r(1),
-            b: Operand::Const { bank: 0, offset: 0x20 },
+            b: Operand::Const {
+                bank: 0,
+                offset: 0x20,
+            },
             c: Reg::r(9),
         });
         let r = analyze_ffma_conflicts(&[inst]);

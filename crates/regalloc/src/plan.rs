@@ -61,7 +61,10 @@ impl SgemmPlan {
     /// Panics if the register budget (`br² + br + 2 + 12 + 7`) exceeds 63.
     pub fn naive(br: usize) -> SgemmPlan {
         let needed = br * br + br + 2 + 12 + 7;
-        assert!(needed <= 63, "blocking factor {br} needs {needed} > 63 registers");
+        assert!(
+            needed <= 63,
+            "blocking factor {br} needs {needed} > 63 registers"
+        );
         let mut next = 0u8;
         let mut take = |n: usize| -> Vec<Reg> {
             let v: Vec<Reg> = (0..n).map(|i| Reg::r(next + i as u8)).collect();
@@ -175,11 +178,7 @@ impl SgemmPlan {
         let mut three = 0;
         for i in 0..self.br {
             for j in 0..self.br {
-                let ways = ffma_conflict_ways(
-                    self.a_col[i],
-                    Some(self.b_row[j % 2]),
-                    self.c[i][j],
-                );
+                let ways = ffma_conflict_ways(self.a_col[i], Some(self.b_row[j % 2]), self.c[i][j]);
                 match ways {
                     1 => free += 1,
                     2 => two += 1,
@@ -232,7 +231,10 @@ mod tests {
         let (_, two, three) = p.conflict_census();
         // The paper's first (unoptimized) Kepler version had 68.8% 2-way
         // and 10.6% 3-way; the naive sequential plan must conflict heavily.
-        assert!(two + three > 10, "expected heavy conflicts, got {two}+{three}");
+        assert!(
+            two + three > 10,
+            "expected heavy conflicts, got {two}+{three}"
+        );
     }
 
     #[test]

@@ -145,7 +145,8 @@ impl KernelBuilder {
             }
         }
         self.kernel.code.push(inst);
-        self.ctl.push(self.pending_ctl.take().unwrap_or(CtlInfo::NONE));
+        self.ctl
+            .push(self.pending_ctl.take().unwrap_or(CtlInfo::NONE));
         self
     }
 
@@ -203,12 +204,20 @@ impl KernelBuilder {
 
     /// `FADD dst, a, b`.
     pub fn fadd(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Op::Fadd { dst, a, b: b.into() })
+        self.push(Op::Fadd {
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `FMUL dst, a, b`.
     pub fn fmul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Op::Fmul { dst, a, b: b.into() })
+        self.push(Op::Fmul {
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `FFMA dst, a, b, c`.
@@ -223,12 +232,20 @@ impl KernelBuilder {
 
     /// `IADD dst, a, b`.
     pub fn iadd(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Op::Iadd { dst, a, b: b.into() })
+        self.push(Op::Iadd {
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `IMUL dst, a, b`.
     pub fn imul(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Op::Imul { dst, a, b: b.into() })
+        self.push(Op::Imul {
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `IMAD dst, a, b, c`.
@@ -253,12 +270,20 @@ impl KernelBuilder {
 
     /// `SHL dst, a, b`.
     pub fn shl(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Op::Shl { dst, a, b: b.into() })
+        self.push(Op::Shl {
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `SHR dst, a, b`.
     pub fn shr(&mut self, dst: Reg, a: Reg, b: impl Into<Operand>) -> &mut Self {
-        self.push(Op::Shr { dst, a, b: b.into() })
+        self.push(Op::Shr {
+            dst,
+            a,
+            b: b.into(),
+        })
     }
 
     /// `ISETP.cmp p, a, b`.
@@ -373,10 +398,7 @@ mod tests {
         let l = b.new_label();
         b.bra(l);
         b.exit();
-        assert!(matches!(
-            b.finish(),
-            Err(SassError::UndefinedLabel { .. })
-        ));
+        assert!(matches!(b.finish(), Err(SassError::UndefinedLabel { .. })));
     }
 
     #[test]

@@ -59,6 +59,22 @@ impl CtlInfo {
         }
     }
 
+    /// A stall of `n` cycles with the dual-issue flag set: this instruction
+    /// may pair with its successor in the scheduler's second dispatch slot,
+    /// and the stall then paces the pair as a whole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub fn dual_stall(n: u8) -> CtlInfo {
+        assert!(n <= 15, "stall count {n} exceeds 4-bit field");
+        CtlInfo {
+            stall: n,
+            yield_hint: false,
+            dual: true,
+        }
+    }
+
     /// Pack into the 8-bit field.
     pub fn to_byte(self) -> u8 {
         (self.stall & 0xF) | (u8::from(self.yield_hint) << 4) | (u8::from(self.dual) << 5)
@@ -161,12 +177,7 @@ impl CtlWord {
 impl fmt::Display for CtlWord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Print as the paper does: two 32-bit halves, low half first.
-        write!(
-            f,
-            "{:#010x} {:#010x}",
-            self.0 & 0xFFFF_FFFF,
-            self.0 >> 32
-        )
+        write!(f, "{:#010x} {:#010x}", self.0 & 0xFFFF_FFFF, self.0 >> 32)
     }
 }
 

@@ -98,14 +98,7 @@ fn decode_operand_b(w: u64) -> Result<Operand, SassError> {
     }
 }
 
-fn alu(
-    opcode: u64,
-    dst: u64,
-    a: Reg,
-    b: Operand,
-    c: Reg,
-    modifier: u64,
-) -> Result<u64, SassError> {
+fn alu(opcode: u64, dst: u64, a: Reg, b: Operand, c: Reg, modifier: u64) -> Result<u64, SassError> {
     Ok((opcode << 5)
         | (dst << 13)
         | (u64::from(a.index()) << 19)
@@ -204,14 +197,9 @@ pub fn encode(inst: &Instruction, index: u32) -> Result<u64, SassError> {
             };
             alu(opcode, u64::from(dst.index()), a, b, Reg::RZ, 0)?
         }
-        Op::Isetp { p, cmp, a, b } => alu(
-            OPC_ISETP,
-            u64::from(p.index()),
-            a,
-            b,
-            Reg::RZ,
-            cmp_id(cmp),
-        )?,
+        Op::Isetp { p, cmp, a, b } => {
+            alu(OPC_ISETP, u64::from(p.index()), a, b, Reg::RZ, cmp_id(cmp))?
+        }
         Op::Ld {
             space,
             width,
@@ -265,10 +253,7 @@ pub fn encode(inst: &Instruction, index: u32) -> Result<u64, SassError> {
 
 fn decode_guard(w: u64) -> (Option<Pred>, bool) {
     if bits(w, 4, 5) == 1 {
-        (
-            Some(Pred::p(bits(w, 0, 3) as u8)),
-            bits(w, 3, 4) == 1,
-        )
+        (Some(Pred::p(bits(w, 0, 3) as u8)), bits(w, 3, 4) == 1)
     } else {
         (None, false)
     }
@@ -529,14 +514,8 @@ mod tests {
 
     #[test]
     fn guard_round_trips() {
-        roundtrip(
-            Instruction::predicated(Pred::p(3), true, Op::Exit),
-            7,
-        );
-        roundtrip(
-            Instruction::predicated(Pred::p(0), false, Op::Nop),
-            0,
-        );
+        roundtrip(Instruction::predicated(Pred::p(3), true, Op::Exit), 7);
+        roundtrip(Instruction::predicated(Pred::p(0), false, Op::Nop), 0);
     }
 
     #[test]

@@ -112,12 +112,7 @@ impl fmt::Display for Instruction {
                 addr,
                 offset,
             } => {
-                write!(
-                    f,
-                    "{}{} [{addr}",
-                    space.store_mnemonic(),
-                    width.suffix()
-                )?;
+                write!(f, "{}{} [{addr}", space.store_mnemonic(), width.suffix())?;
                 fmt_offset(f, *offset)?;
                 write!(f, "], {src};")
             }
@@ -143,11 +138,7 @@ mod tests {
         });
         assert_eq!(i.to_string(), "FFMA R8, R4, R5, R8;");
 
-        let i = Instruction::predicated(
-            Pred::p(0),
-            true,
-            Op::Bra { target: 0x10 },
-        );
+        let i = Instruction::predicated(Pred::p(0), true, Op::Bra { target: 0x10 });
         assert_eq!(i.to_string(), "@!P0 BRA 0x10;");
 
         let i = Instruction::new(Op::Ld {

@@ -374,11 +374,7 @@ mod tests {
     fn binary_round_trip_kepler_with_ctl() {
         let mut m = Module::new(Generation::Kepler);
         let mut k = sample_kernel();
-        k.ctl = Some(vec![
-            CtlInfo::stall(1),
-            CtlInfo::stall(4),
-            CtlInfo::NONE,
-        ]);
+        k.ctl = Some(vec![CtlInfo::stall(1), CtlInfo::stall(4), CtlInfo::NONE]);
         m.kernels.push(k);
         let bytes = m.to_bytes().unwrap();
         let back = Module::from_bytes(&bytes).unwrap();

@@ -1,6 +1,5 @@
 //! The instruction set: operations and their payloads.
 
-
 use peakperf_arch::LdsWidth;
 
 use crate::{Operand, Pred, Reg};

@@ -119,10 +119,30 @@ mod tests {
 
     #[test]
     fn const_constraints() {
-        assert!(Operand::Const { bank: 0, offset: 0x20 }.check().is_ok());
-        assert!(Operand::Const { bank: 0, offset: 0x21 }.check().is_err());
-        assert!(Operand::Const { bank: 16, offset: 0 }.check().is_err());
-        assert!(Operand::Const { bank: 0, offset: 0x10000 }.check().is_err());
+        assert!(Operand::Const {
+            bank: 0,
+            offset: 0x20
+        }
+        .check()
+        .is_ok());
+        assert!(Operand::Const {
+            bank: 0,
+            offset: 0x21
+        }
+        .check()
+        .is_err());
+        assert!(Operand::Const {
+            bank: 16,
+            offset: 0
+        }
+        .check()
+        .is_err());
+        assert!(Operand::Const {
+            bank: 0,
+            offset: 0x10000
+        }
+        .check()
+        .is_err());
     }
 
     #[test]
@@ -131,7 +151,11 @@ mod tests {
         assert_eq!(Operand::Imm(16).to_string(), "0x10");
         assert_eq!(Operand::Imm(-4).to_string(), "-0x4");
         assert_eq!(
-            Operand::Const { bank: 0, offset: 0x24 }.to_string(),
+            Operand::Const {
+                bank: 0,
+                offset: 0x24
+            }
+            .to_string(),
             "c[0x0][0x24]"
         );
     }

@@ -131,9 +131,10 @@ impl KernelState {
                 } => {
                     let target = match target {
                         BranchTarget::Absolute(t) => t,
-                        BranchTarget::Label(name) => *self.labels.get(&name).ok_or(
-                            SassError::UndefinedLabel { name: name.clone() },
-                        )?,
+                        BranchTarget::Label(name) => *self
+                            .labels
+                            .get(&name)
+                            .ok_or(SassError::UndefinedLabel { name: name.clone() })?,
                     };
                     if target as usize > self.ctl.len() {
                         return Err(err(
@@ -155,9 +156,7 @@ impl KernelState {
             let highest = kernel
                 .code
                 .iter()
-                .flat_map(|i| {
-                    i.op.def_regs().into_iter().chain(i.op.use_regs())
-                })
+                .flat_map(|i| i.op.def_regs().into_iter().chain(i.op.use_regs()))
                 .map(|r| u32::from(r.index()) + 1)
                 .max()
                 .unwrap_or(0);
@@ -172,10 +171,10 @@ impl KernelState {
     }
 }
 
-fn expect_kernel<'a>(
-    state: &'a mut Option<KernelState>,
+fn expect_kernel(
+    state: &mut Option<KernelState>,
     lineno: usize,
-) -> Result<&'a mut KernelState, SassError> {
+) -> Result<&mut KernelState, SassError> {
     state
         .as_mut()
         .ok_or_else(|| err(lineno, "statement before `.kernel`".to_owned()))
@@ -223,8 +222,7 @@ fn parse_directive(
             let byte = parse_u32(arg)
                 .filter(|&v| v <= 0xFF)
                 .ok_or_else(|| err(lineno, "expected control byte".to_owned()))?;
-            let info = CtlInfo::from_byte(byte as u8)
-                .map_err(|e| err(lineno, e.to_string()))?;
+            let info = CtlInfo::from_byte(byte as u8).map_err(|e| err(lineno, e.to_string()))?;
             expect_kernel(state, lineno)?.pending_ctl = Some(info);
         }
         other => return Err(err(lineno, format!("unknown directive `.{other}`"))),
@@ -266,7 +264,9 @@ fn strip_comment(line: &str) -> String {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -449,9 +449,8 @@ impl<'a> Cursor<'a> {
         self.expect('[')?;
         let base = self.reg()?;
         self.skip_ws();
-        let offset = if self.eat('+') {
-            self.number_i32()?
-        } else if self.peek() == Some('-') {
+        // A `-` is consumed by `number_i32` as the sign; `+` is eaten here.
+        let offset = if self.eat('+') || self.peek() == Some('-') {
             self.number_i32()?
         } else {
             0
@@ -506,9 +505,11 @@ fn parse_instruction(cur: &mut Cursor<'_>) -> Result<PendingInst, SassError> {
         "BRA" => {
             cur.skip_ws();
             let target = if cur.peek().is_some_and(|c| c.is_ascii_digit()) {
-                BranchTarget::Absolute(cur.number_i64()?.try_into().map_err(|_| {
-                    err(line, "branch target out of range".to_owned())
-                })?)
+                BranchTarget::Absolute(
+                    cur.number_i64()?
+                        .try_into()
+                        .map_err(|_| err(line, "branch target out of range".to_owned()))?,
+                )
             } else {
                 let name = cur.word();
                 if !is_ident(name) {

@@ -82,8 +82,8 @@ impl Reg {
     pub fn is_aligned_for(self, words: u32) -> bool {
         match words {
             1 => true,
-            2 => self.0 % 2 == 0,
-            4 => self.0 % 4 == 0,
+            2 => self.0.is_multiple_of(2),
+            4 => self.0.is_multiple_of(4),
             _ => false,
         }
     }

@@ -23,7 +23,7 @@ use crate::op::{MemSpace, Op, OpClass};
 use crate::{Instruction, Reg};
 
 /// Options for [`schedule`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SchedOptions {
     /// Do not move instructions more than this many slots from their
     /// original position (0 = unlimited). Bounding the motion keeps
@@ -31,16 +31,9 @@ pub struct SchedOptions {
     pub max_motion: usize,
 }
 
-impl Default for SchedOptions {
-    fn default() -> SchedOptions {
-        SchedOptions { max_motion: 0 }
-    }
-}
-
 /// True when the instruction ends a straight-line region.
 fn is_region_boundary(inst: &Instruction) -> bool {
-    matches!(inst.op, Op::Bra { .. } | Op::Bar | Op::Exit | Op::Nop)
-        || inst.pred.is_some()
+    matches!(inst.op, Op::Bra { .. } | Op::Bar | Op::Exit | Op::Nop) || inst.pred.is_some()
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,10 +100,7 @@ struct Region<'a> {
     height: Vec<u64>,
 }
 
-fn build_region<'a>(
-    insts: &'a [Instruction],
-    latency: &dyn Fn(&Op) -> u32,
-) -> Region<'a> {
+fn build_region<'a>(insts: &'a [Instruction], latency: &dyn Fn(&Op) -> u32) -> Region<'a> {
     let n = insts.len();
     let mut preds: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -130,11 +120,7 @@ fn build_region<'a>(
     let mut height = vec![0u64; n];
     for i in (0..n).rev() {
         let own = u64::from(latency(&insts[i].op));
-        let best = succs[i]
-            .iter()
-            .map(|&j| height[j])
-            .max()
-            .unwrap_or(0);
+        let best = succs[i].iter().map(|&j| height[j]).max().unwrap_or(0);
         height[i] = own + best;
     }
     Region {
@@ -174,8 +160,7 @@ fn schedule_region(
                 Some(b) => {
                     let key = |k: usize| {
                         let stalled = ready_at[k].max(cycle) - cycle;
-                        let class_bonus =
-                            u64::from(Some(region.insts[k].op.class()) == last_class);
+                        let class_bonus = u64::from(Some(region.insts[k].op.class()) == last_class);
                         // Lower is better: (stall, same-pipe-as-last,
                         // -height, original index).
                         (stalled, class_bonus, u64::MAX - region.height[k], k)
@@ -262,7 +247,10 @@ pub fn auto_ctl(code: &[Instruction], latency: impl Fn(&Op) -> u32) -> Vec<CtlIn
     let n = code.len();
     let mut out = vec![CtlInfo::stall(1); n];
     for i in 0..n {
-        if matches!(code[i].op.class(), OpClass::Ctrl | OpClass::Barrier | OpClass::Nop) {
+        if matches!(
+            code[i].op.class(),
+            OpClass::Ctrl | OpClass::Barrier | OpClass::Nop
+        ) {
             out[i] = CtlInfo::NONE;
             continue;
         }

@@ -93,14 +93,11 @@ fn read_const(mem: &MemCtx<'_>, block: &BlockCtx, offset: u32) -> Result<u32, Si
         });
     }
     let idx = ((offset - PARAM_BASE) / 4) as usize;
-    mem.params
-        .get(idx)
-        .copied()
-        .ok_or(SimError::OutOfBounds {
-            space: "const",
-            addr: u64::from(offset),
-            size: u64::from(PARAM_BASE) + 4 * mem.params.len() as u64,
-        })
+    mem.params.get(idx).copied().ok_or(SimError::OutOfBounds {
+        space: "const",
+        addr: u64::from(offset),
+        size: u64::from(PARAM_BASE) + 4 * mem.params.len() as u64,
+    })
 }
 
 fn operand_value(
@@ -117,13 +114,9 @@ fn operand_value(
     }
 }
 
-fn shared_access(
-    shared: &mut [u8],
-    addr: u32,
-    width: MemWidth,
-) -> Result<usize, SimError> {
+fn shared_access(shared: &mut [u8], addr: u32, width: MemWidth) -> Result<usize, SimError> {
     let bytes = width.bytes();
-    if addr % bytes != 0 {
+    if !addr.is_multiple_of(bytes) {
         return Err(SimError::Misaligned {
             space: "shared",
             addr: u64::from(addr),
@@ -140,13 +133,9 @@ fn shared_access(
     Ok(addr as usize)
 }
 
-fn local_access(
-    local_bytes: u32,
-    addr: u32,
-    width: MemWidth,
-) -> Result<usize, SimError> {
+fn local_access(local_bytes: u32, addr: u32, width: MemWidth) -> Result<usize, SimError> {
     let bytes = width.bytes();
-    if addr % bytes != 0 {
+    if !addr.is_multiple_of(bytes) {
         return Err(SimError::Misaligned {
             space: "local",
             addr: u64::from(addr),
@@ -163,12 +152,8 @@ fn local_access(
     Ok(addr as usize)
 }
 
-fn global_check(
-    _global: &GlobalMemory,
-    addr: u32,
-    width: MemWidth,
-) -> Result<(), SimError> {
-    if addr % width.bytes() != 0 {
+fn global_check(_global: &GlobalMemory, addr: u32, width: MemWidth) -> Result<(), SimError> {
+    if !addr.is_multiple_of(width.bytes()) {
         return Err(SimError::Misaligned {
             space: "global",
             addr: u64::from(addr),

@@ -95,8 +95,7 @@ impl Gpu {
                         y: by,
                         z: bz,
                     };
-                    let block_stats =
-                        self.run_block(kernel, config, ctaid, params)?;
+                    let block_stats = self.run_block(kernel, config, ctaid, params)?;
                     stats.merge(&block_stats);
                 }
             }
@@ -155,10 +154,7 @@ impl Gpu {
                     match result.event {
                         StepEvent::Executed { pc, exec_mask } => {
                             progressed = true;
-                            stats.record(
-                                &kernel.code[pc as usize],
-                                exec_mask.count_ones(),
-                            );
+                            stats.record(&kernel.code[pc as usize], exec_mask.count_ones());
                         }
                         StepEvent::AtBarrier { pc } => {
                             progressed = true;
@@ -188,8 +184,7 @@ impl Gpu {
             if !progressed {
                 // Some warps exited while others wait at a barrier forever.
                 return Err(SimError::Launch {
-                    message: "deadlock: barrier never satisfied (some warps exited)"
-                        .to_owned(),
+                    message: "deadlock: barrier never satisfied (some warps exited)".to_owned(),
                 });
             }
         }
@@ -199,9 +194,7 @@ impl Gpu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use peakperf_sass::{
-        CmpOp, KernelBuilder, MemSpace, MemWidth, Pred, Reg, SpecialReg,
-    };
+    use peakperf_sass::{CmpOp, KernelBuilder, MemSpace, MemWidth, Pred, Reg, SpecialReg};
 
     /// out[global_tid] = a[global_tid] * alpha + out[global_tid]
     fn saxpy_kernel() -> Kernel {

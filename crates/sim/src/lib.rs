@@ -60,7 +60,21 @@ pub use error::SimError;
 pub use func::Gpu;
 pub use launch::{Dim3, LaunchConfig};
 pub use mem::GlobalMemory;
-pub use stats::{FuncStats, InstMix};
+pub use stats::{Counters, FuncStats, InstMix};
 pub use warp::{StepEvent, WarpState};
+
+// The parallel experiment executor in `peakperf-bench` moves simulator
+// state onto worker threads; these assertions keep the core types `Send`
+// (a regression here would surface far away, as an executor build error).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<GlobalMemory>();
+    assert_send::<Gpu>();
+    assert_send::<SimError>();
+    assert_send::<timing::TimingSim>();
+    assert_send::<timing::TimingReport>();
+    assert_send::<timing::GpuTiming>();
+    assert_send::<Counters>();
+};
 
 pub use peakperf_arch::Generation;

@@ -87,7 +87,7 @@ impl GlobalMemory {
     ///
     /// Out-of-bounds and misaligned accesses fail.
     pub fn read_u32(&self, addr: u32) -> Result<u32, SimError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(SimError::Misaligned {
                 space: "global",
                 addr: u64::from(addr),
@@ -104,7 +104,7 @@ impl GlobalMemory {
     ///
     /// Out-of-bounds and misaligned accesses fail.
     pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(SimError::Misaligned {
                 space: "global",
                 addr: u64::from(addr),

@@ -2,8 +2,76 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use peakperf_sass::{Instruction, OpClass};
+
+// ---------------------------------------------------------------------
+// Process-wide simulation counters
+// ---------------------------------------------------------------------
+
+static TIMING_RUNS: AtomicU64 = AtomicU64::new(0);
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+static SIM_WARP_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A monotonic snapshot of the process-wide simulation counters.
+///
+/// The counters only ever grow; observability layers (e.g. the `reproduce`
+/// binary's JSON report) take a snapshot before and after a unit of work
+/// and report the difference via [`Counters::delta_since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Completed cycle-level timing runs (cache hits not included).
+    pub timing_runs: u64,
+    /// Total simulated shader cycles across those runs.
+    pub sim_cycles: u64,
+    /// Total warp instructions issued across those runs.
+    pub warp_instructions: u64,
+    /// Timing-cache hits (runs answered without simulating).
+    pub cache_hits: u64,
+    /// Timing-cache misses (lookups that had to simulate).
+    pub cache_misses: u64,
+}
+
+impl Counters {
+    /// Current values of the process-wide counters.
+    pub fn snapshot() -> Counters {
+        Counters {
+            timing_runs: TIMING_RUNS.load(Ordering::Relaxed),
+            sim_cycles: SIM_CYCLES.load(Ordering::Relaxed),
+            warp_instructions: SIM_WARP_INSTRUCTIONS.load(Ordering::Relaxed),
+            cache_hits: CACHE_HITS.load(Ordering::Relaxed),
+            cache_misses: CACHE_MISSES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter growth since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            timing_runs: self.timing_runs - earlier.timing_runs,
+            sim_cycles: self.sim_cycles - earlier.sim_cycles,
+            warp_instructions: self.warp_instructions - earlier.warp_instructions,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+        }
+    }
+}
+
+pub(crate) fn record_timing_run(cycles: u64, warp_instructions: u64) {
+    TIMING_RUNS.fetch_add(1, Ordering::Relaxed);
+    SIM_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+    SIM_WARP_INSTRUCTIONS.fetch_add(warp_instructions, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_hit() {
+    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_miss() {
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Instruction-mix counters, keyed by mnemonic.
 ///
@@ -25,6 +93,13 @@ impl InstMix {
     /// Record `n` executions of `inst`.
     pub fn record(&mut self, inst: &Instruction, n: u64) {
         *self.counts.entry(inst.op.mnemonic()).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Record `n` executions of a mnemonic directly (used when
+    /// reconstructing a mix from a serialized cache entry).
+    pub fn add_count(&mut self, mnemonic: &str, n: u64) {
+        *self.counts.entry(mnemonic.to_owned()).or_insert(0) += n;
         self.total += n;
     }
 

@@ -1,0 +1,369 @@
+//! A memoization cache for timing runs.
+//!
+//! A [`TimingSim`](crate::timing::TimingSim) run is a pure function of its
+//! inputs (GPU configuration, kernel, launch configuration, parameter
+//! values, resident-block count), so repeated runs — the experiment drivers
+//! re-time identical microbenchmark kernels across figures, and repeated
+//! `reproduce` invocations redo everything — can be answered from a cache.
+//!
+//! The cache is **opt-in** (see [`enable_global`]) because a hit skips the
+//! functional execution entirely, including its writes to global memory.
+//! Every caller in this repository discards the memory after timing, so the
+//! experiment drivers enable it; code that inspects memory afterwards must
+//! not.
+//!
+//! Keys are 128-bit [FNV-1a] hashes over the `Debug` rendering of the
+//! inputs plus the raw parameter words. FNV is used instead of the standard
+//! library's `Hasher` because the key also names on-disk entries, so it
+//! must be stable across Rust versions and processes.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use peakperf_arch::GpuConfig;
+use peakperf_sass::Kernel;
+
+use crate::timing::sm::{StallKind, TimingReport};
+use crate::{InstMix, LaunchConfig};
+
+// ---------------------------------------------------------------------
+// Key hashing
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Two independent 64-bit FNV-1a streams (different offset bases) giving a
+/// 128-bit digest — collision-safe for the few thousand distinct runs an
+/// experiment suite produces, and stable across processes.
+struct Fnv128 {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fnv128 {
+    fn new() -> Fnv128 {
+        Fnv128 {
+            lo: FNV_OFFSET,
+            // A second, distinct basis: FNV-1a of the tag byte `1`.
+            hi: (FNV_OFFSET ^ 1).wrapping_mul(FNV_PRIME),
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b.wrapping_add(0x9e))).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+/// The cache key of one timing run.
+pub(crate) fn run_key(
+    gpu: &GpuConfig,
+    kernel: &Kernel,
+    config: LaunchConfig,
+    params: &[u32],
+    resident_blocks: u32,
+) -> u128 {
+    let mut h = Fnv128::new();
+    // `Debug` renderings cover every field, including the instruction
+    // stream and control notation; a separator guards against ambiguous
+    // concatenation.
+    h.write(format!("{gpu:?}").as_bytes());
+    h.write(b"\x1f");
+    h.write(format!("{kernel:?}").as_bytes());
+    h.write(b"\x1f");
+    h.write(format!("{config:?}").as_bytes());
+    h.write(b"\x1f");
+    for p in params {
+        h.write(&p.to_le_bytes());
+    }
+    h.write(b"\x1f");
+    h.write(&resident_blocks.to_le_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// The cache proper
+// ---------------------------------------------------------------------
+
+/// In-memory timing-result cache with an optional on-disk tier.
+pub struct SimCache {
+    mem: Mutex<HashMap<u128, TimingReport>>,
+    disk: Mutex<Option<PathBuf>>,
+}
+
+impl SimCache {
+    /// An empty cache; `disk_dir`, when given, names a directory where
+    /// entries are persisted as one small text file each (created on first
+    /// store).
+    pub fn new(disk_dir: Option<PathBuf>) -> SimCache {
+        SimCache {
+            mem: Mutex::new(HashMap::new()),
+            disk: Mutex::new(disk_dir),
+        }
+    }
+
+    /// Look up a report by key: memory first, then disk (a disk hit is
+    /// promoted into memory).
+    pub fn lookup(&self, key: u128) -> Option<TimingReport> {
+        if let Some(r) = self.mem.lock().unwrap().get(&key) {
+            return Some(r.clone());
+        }
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let report = parse_report(&text)?;
+        self.mem.lock().unwrap().insert(key, report.clone());
+        Some(report)
+    }
+
+    /// Store a report under `key` (in memory, and on disk when configured).
+    /// Disk write failures are ignored: the cache is an accelerator, not a
+    /// store of record.
+    pub fn store(&self, key: u128, report: &TimingReport) {
+        self.mem.lock().unwrap().insert(key, report.clone());
+        if let Some(path) = self.entry_path(key) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(path, serialize_report(report));
+        }
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    /// Whether the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn entry_path(&self, key: u128) -> Option<PathBuf> {
+        let disk = self.disk.lock().unwrap();
+        disk.as_ref()
+            .map(|dir| dir.join(format!("{key:032x}.simcache")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global (process-wide) instance
+// ---------------------------------------------------------------------
+
+static GLOBAL: OnceLock<SimCache> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enable the process-wide cache used by
+/// [`TimingSim::run_cached`](crate::timing::TimingSim::run_cached).
+///
+/// `disk_dir`, when given, adds a persistent tier under that directory;
+/// passing `None` after a directory was set keeps the existing directory.
+pub fn enable_global(disk_dir: Option<PathBuf>) {
+    let cache = GLOBAL.get_or_init(|| SimCache::new(None));
+    if let Some(dir) = disk_dir {
+        *cache.disk.lock().unwrap() = Some(dir);
+    }
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable the process-wide cache (entries are retained and reused if it is
+/// re-enabled).
+pub fn disable_global() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// The active process-wide cache, or `None` when disabled.
+pub(crate) fn active() -> Option<&'static SimCache> {
+    if ENABLED.load(Ordering::Acquire) {
+        GLOBAL.get()
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report (de)serialization — line-oriented text, versioned
+// ---------------------------------------------------------------------
+
+const FORMAT_TAG: &str = "peakperf-simcache v1";
+
+fn serialize_report(r: &TimingReport) -> String {
+    let mut out = String::new();
+    out.push_str(FORMAT_TAG);
+    out.push('\n');
+    out.push_str(&format!("cycles {}\n", r.cycles));
+    out.push_str(&format!("warp_instructions {}\n", r.warp_instructions));
+    out.push_str(&format!("thread_instructions {}\n", r.thread_instructions));
+    out.push_str(&format!("flops {}\n", r.flops));
+    out.push_str(&format!("lds_conflict_cycles {}\n", r.lds_conflict_cycles));
+    out.push_str(&format!("global_transactions {}\n", r.global_transactions));
+    out.push_str(&format!("global_bytes {}\n", r.global_bytes));
+    out.push_str(&format!("hazard_replays {}\n", r.hazard_replays));
+    for (kind, n) in &r.stalls {
+        out.push_str(&format!("stall {} {n}\n", kind.as_str()));
+    }
+    for (mnemonic, n) in r.mix.iter() {
+        out.push_str(&format!("mix {mnemonic} {n}\n"));
+    }
+    out
+}
+
+fn parse_report(text: &str) -> Option<TimingReport> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT_TAG {
+        return None;
+    }
+    let mut report = TimingReport {
+        cycles: 0,
+        warp_instructions: 0,
+        thread_instructions: 0,
+        flops: 0,
+        mix: InstMix::new(),
+        stalls: BTreeMap::new(),
+        lds_conflict_cycles: 0,
+        global_transactions: 0,
+        global_bytes: 0,
+        hazard_replays: 0,
+    };
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        let field = parts.next()?;
+        match field {
+            "stall" => {
+                let kind = StallKind::parse(parts.next()?)?;
+                let n = parts.next()?.parse().ok()?;
+                report.stalls.insert(kind, n);
+            }
+            "mix" => {
+                let mnemonic = parts.next()?;
+                let n = parts.next()?.parse().ok()?;
+                report.mix.add_count(mnemonic, n);
+            }
+            _ => {
+                let value: u64 = parts.next()?.parse().ok()?;
+                match field {
+                    "cycles" => report.cycles = value,
+                    "warp_instructions" => report.warp_instructions = value,
+                    "thread_instructions" => report.thread_instructions = value,
+                    "flops" => report.flops = value,
+                    "lds_conflict_cycles" => report.lds_conflict_cycles = value,
+                    "global_transactions" => report.global_transactions = value,
+                    "global_bytes" => report.global_bytes = value,
+                    "hazard_replays" => report.hazard_replays = value,
+                    _ => return None,
+                }
+            }
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peakperf_arch::Generation;
+    use peakperf_sass::{KernelBuilder, Operand, Reg};
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("k", Generation::Fermi);
+        for _ in 0..4 {
+            b.ffma(Reg::r(8), Reg::r(1), Operand::reg(4), Reg::r(8));
+        }
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    fn sample_report() -> TimingReport {
+        let gpu = GpuConfig::gtx580();
+        let kernel = sample_kernel();
+        let mut mem = crate::GlobalMemory::new();
+        let mut sim =
+            crate::timing::TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 64), &[], 1)
+                .unwrap();
+        sim.run(&mut mem).unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let report = sample_report();
+        let parsed = parse_report(&serialize_report(&report)).unwrap();
+        assert_eq!(parsed.cycles, report.cycles);
+        assert_eq!(parsed.warp_instructions, report.warp_instructions);
+        assert_eq!(parsed.thread_instructions, report.thread_instructions);
+        assert_eq!(parsed.flops, report.flops);
+        assert_eq!(parsed.stalls, report.stalls);
+        assert_eq!(parsed.mix, report.mix);
+    }
+
+    #[test]
+    fn rejects_foreign_text() {
+        assert!(parse_report("not a cache file").is_none());
+        assert!(parse_report(&format!("{FORMAT_TAG}\nbogus_field 3")).is_none());
+    }
+
+    #[test]
+    fn key_is_sensitive_to_each_input() {
+        let gpu = GpuConfig::gtx580();
+        let kernel = sample_kernel();
+        let config = LaunchConfig::linear(4, 64);
+        let base = run_key(&gpu, &kernel, config, &[7], 2);
+
+        let mut other_gpu = gpu.clone();
+        other_gpu.num_sms += 1;
+        assert_ne!(base, run_key(&other_gpu, &kernel, config, &[7], 2));
+
+        let mut other_kernel = kernel.clone();
+        other_kernel.num_regs += 1;
+        assert_ne!(base, run_key(&gpu, &other_kernel, config, &[7], 2));
+
+        assert_ne!(
+            base,
+            run_key(&gpu, &kernel, LaunchConfig::linear(4, 128), &[7], 2)
+        );
+        assert_ne!(base, run_key(&gpu, &kernel, config, &[8], 2));
+        assert_ne!(base, run_key(&gpu, &kernel, config, &[7], 3));
+        assert_eq!(base, run_key(&gpu, &kernel, config, &[7], 2));
+    }
+
+    #[test]
+    fn memory_tier_hits() {
+        let cache = SimCache::new(None);
+        let report = sample_report();
+        assert!(cache.lookup(42).is_none());
+        cache.store(42, &report);
+        let hit = cache.lookup(42).unwrap();
+        assert_eq!(hit.cycles, report.cycles);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_tier_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("peakperf-simcache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        {
+            let cache = SimCache::new(Some(dir.clone()));
+            cache.store(7, &report);
+        }
+        // A fresh cache instance (empty memory tier) must find it on disk.
+        let cache = SimCache::new(Some(dir.clone()));
+        let hit = cache.lookup(7).expect("disk entry");
+        assert_eq!(hit.cycles, report.cycles);
+        assert_eq!(hit.mix, report.mix);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

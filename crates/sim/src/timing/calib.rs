@@ -237,7 +237,7 @@ mod tests {
         assert_eq!(c.lds_pipe_cycles(MemWidth::B32, 1), 2); // 16/cycle
         assert_eq!(c.lds_pipe_cycles(MemWidth::B64, 1), 4); // 8/cycle
         assert_eq!(c.lds_pipe_cycles(MemWidth::B128, 1), 16); // 2/cycle
-        // A 2-way conflict doubles the occupancy.
+                                                              // A 2-way conflict doubles the occupancy.
         assert_eq!(c.lds_pipe_cycles(MemWidth::B32, 2), 4);
     }
 

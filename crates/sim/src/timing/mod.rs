@@ -18,6 +18,7 @@
 //!   (Section 3.2: without proper notation, "the performance is very
 //!   poor").
 
+pub mod cache;
 mod calib;
 mod conflict;
 mod sm;
@@ -88,7 +89,7 @@ pub fn time_kernel(
 
     let resident = (total_blocks.min(u64::from(blocks_per_sm))) as u32;
     let mut sim = TimingSim::new(gpu, kernel, config, params, resident)?;
-    let report = sim.run(memory)?;
+    let report = sim.run_cached(memory)?;
 
     // Full waves run back to back; the trailing partial wave still pays a
     // latency floor (its blocks take roughly a full wave's critical path on
@@ -107,9 +108,9 @@ pub fn time_kernel(
     let time_ms = total_cycles as f64 / (gpu.shader_clock_mhz * 1e3);
     // Useful flops over the whole grid: either supplied by the caller
     // (e.g. 2*M*N*K for GEMM) or the simulated per-block flops scaled up.
-    let total_flops = flops_override.map(|f| f as f64).unwrap_or_else(|| {
-        report.flops as f64 * total_blocks as f64 / f64::from(resident)
-    });
+    let total_flops = flops_override
+        .map(|f| f as f64)
+        .unwrap_or_else(|| report.flops as f64 * total_blocks as f64 / f64::from(resident));
     let gflops = total_flops / (time_ms * 1e6);
     Ok(GpuTiming {
         sm: report,

@@ -59,7 +59,11 @@ impl WarpState {
         WarpState {
             warp_id,
             pcs,
-            live: if lanes == 32 { u32::MAX } else { (1 << lanes) - 1 },
+            live: if lanes == 32 {
+                u32::MAX
+            } else {
+                (1 << lanes) - 1
+            },
             regs: vec![0u32; 32 * 64].into_boxed_slice().try_into().unwrap(),
             preds: [0; 32],
         }

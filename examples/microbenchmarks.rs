@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  threads  dependent  independent");
         for t in [128u32, 256, 512, 1024, gpu.max_threads_per_sm] {
             let dep = threads::measure_threads(&gpu, threads::Dependence::Dependent, t)?;
-            let ind =
-                threads::measure_threads(&gpu, threads::Dependence::Independent, t)?;
+            let ind = threads::measure_threads(&gpu, threads::Dependence::Independent, t)?;
             println!(
                 "  {:>7} {:>10.1} {:>12.1}",
                 t, dep.throughput, ind.throughput

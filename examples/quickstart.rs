@@ -27,14 +27,21 @@ EXIT;
 "#;
     let module = assemble(source, Generation::Fermi)?;
     let kernel = module.kernel("square_plus_tid").expect("kernel exists");
-    println!("assembled `{}`: {} instructions, {} registers",
-        kernel.name, kernel.code.len(), kernel.num_regs);
+    println!(
+        "assembled `{}`: {} instructions, {} registers",
+        kernel.name,
+        kernel.code.len(),
+        kernel.num_regs
+    );
 
     // Round-trip through the cubin-like binary container.
     let bytes = module.to_bytes()?;
     let back = Module::from_bytes(&bytes)?;
     assert_eq!(back, module);
-    println!("binary container: {} bytes, round-trips exactly", bytes.len());
+    println!(
+        "binary container: {} bytes, round-trips exactly",
+        bytes.len()
+    );
 
     // Run it on 64 threads.
     let mut gpu = Gpu::new(Generation::Fermi);

@@ -40,10 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let mut c_ref = c0.data.clone();
         cpu::sgemm(
-            variant, 192, 192, 64, alpha, &a.data, problem.lda() as usize,
-            &b.data, problem.ldb() as usize, beta, &mut c_ref, 192,
+            variant,
+            192,
+            192,
+            64,
+            alpha,
+            &a.data,
+            problem.lda() as usize,
+            &b.data,
+            problem.ldb() as usize,
+            beta,
+            &mut c_ref,
+            192,
         );
-        let reference = Matrix { rows: 192, cols: 192, ld: 192, data: c_ref };
+        let reference = Matrix {
+            rows: 192,
+            cols: 192,
+            ld: 192,
+            data: c_ref,
+        };
         let diff = run.c.max_abs_diff(&reference);
         println!(
             "  {}: max |diff| = {diff:.2e} over {} executed warp instructions \
@@ -56,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Performance: 960^3 on the cycle-level engine ---------------------
-    println!("\ntiming SGEMM NN 960x960x960 on the simulated {}...", gpu_config.name);
+    println!(
+        "\ntiming SGEMM NN 960x960x960 on the simulated {}...",
+        gpu_config.name
+    );
     let problem = SgemmProblem::square(Variant::NN, 960);
     let bound = UpperBoundModel::new(&gpu_config).best_sgemm_bound();
     for preset in [Preset::AsmOpt, Preset::CublasLike, Preset::MagmaLike] {

@@ -7,22 +7,23 @@
 
 use peakperf::arch::{GpuConfig, LdsWidth};
 use peakperf::bound::{
-    ffma_fraction, ffma_lds_ratio, max_blocking_factor, registers_detailed, sweep,
-    SgemmConfig, UpperBoundModel,
+    ffma_fraction, ffma_lds_ratio, max_blocking_factor, registers_detailed, sweep, SgemmConfig,
+    UpperBoundModel,
 };
 
 fn main() {
     for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
         println!("=== {} ({}) ===", gpu.name, gpu.generation);
-        println!("theoretical peak: {:.0} GFLOPS", gpu.theoretical_peak_gflops());
+        println!(
+            "theoretical peak: {:.0} GFLOPS",
+            gpu.theoretical_peak_gflops()
+        );
 
         // Step 1 (Eq. 2/4): the 63-register encoding limit caps the
         // register blocking factor.
         let max_regs = gpu.generation.max_registers_per_thread();
         let br = max_blocking_factor(max_regs, 256, 16, LdsWidth::B64);
-        println!(
-            "max registers/thread = {max_regs} -> max blocking factor BR = {br}"
-        );
+        println!("max registers/thread = {max_regs} -> max blocking factor BR = {br}");
 
         // Step 2 (Fig. 3): the blocking factor and LDS width set the FFMA
         // percentage of the main loop.
@@ -63,13 +64,7 @@ fn main() {
         println!(
             "best feasible configuration: BR={} TB={} L={} {:?} -> {:.0} GFLOPS \
              ({} blocks x {} threads per SM)\n",
-            c.br,
-            c.tb,
-            c.l,
-            c.width,
-            best.estimate.gflops,
-            best.blocks_per_sm,
-            c.tb,
+            c.br, c.tb, c.l, c.width, best.estimate.gflops, best.blocks_per_sm, c.tb,
         );
     }
 

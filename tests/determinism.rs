@@ -9,7 +9,7 @@ use peakperf::sim::GlobalMemory;
 /// The simulator is a pure function of its inputs: identical launches
 /// produce identical cycle counts and results, run after run.
 #[test]
-fn timing_simulation_is_deterministic()  {
+fn timing_simulation_is_deterministic() {
     let gpu = GpuConfig::gtx580();
     let problem = SgemmProblem {
         variant: Variant::NN,
@@ -63,7 +63,12 @@ fn gt200_is_sp_bound_not_issue_bound() {
     b.mov32i(counter, 32);
     let top = b.label_here();
     for k in 0..64u8 {
-        b.ffma(Reg::r(8 + (k % 8)), Reg::r(1), Operand::reg(4), Reg::r(8 + (k % 8)));
+        b.ffma(
+            Reg::r(8 + (k % 8)),
+            Reg::r(1),
+            Operand::reg(4),
+            Reg::r(8 + (k % 8)),
+        );
     }
     b.iadd(counter, counter, -1);
     b.isetp(Pred::p(0), CmpOp::Gt, counter, 0);

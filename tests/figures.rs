@@ -93,10 +93,16 @@ fn achieved_stays_below_the_bound() {
 fn fig2_shape_holds() {
     for (gpu, cap) in [(GpuConfig::gtx580(), 32.0), (GpuConfig::gtx680(), 132.0)] {
         let low = mix::measure_mix(&gpu, 1, LdsWidth::B64).unwrap().throughput;
-        let high = mix::measure_mix(&gpu, 24, LdsWidth::B64).unwrap().throughput;
+        let high = mix::measure_mix(&gpu, 24, LdsWidth::B64)
+            .unwrap()
+            .throughput;
         assert!(low < high, "{}: {low} !< {high}", gpu.name);
         assert!(high <= cap * 1.02, "{}: {high} above cap {cap}", gpu.name);
-        assert!(high >= cap * 0.80, "{}: {high} too far below cap {cap}", gpu.name);
+        assert!(
+            high >= cap * 0.80,
+            "{}: {high} too far below cap {cap}",
+            gpu.name
+        );
     }
 }
 
@@ -130,8 +136,8 @@ fn table2_within_tolerance() {
     let gpu = GpuConfig::gtx680();
     let rows = math::measure_table2(&gpu).unwrap();
     let paper = [
-        128.7, 132.0, 66.2, 129.0, 132.0, 66.2, 129.0, 132.0, 66.2, 44.2, 128.7, 132.4,
-        66.2, 33.2, 33.2, 33.2, 33.2, 33.1, 33.2, 26.5,
+        128.7, 132.0, 66.2, 129.0, 132.0, 66.2, 129.0, 132.0, 66.2, 44.2, 128.7, 132.4, 66.2, 33.2,
+        33.2, 33.2, 33.2, 33.1, 33.2, 26.5,
     ];
     for (row, &expect) in rows.iter().zip(paper.iter()) {
         let rel = (row.throughput - expect).abs() / expect;
@@ -164,10 +170,7 @@ fn fig8_census_ordering() {
     );
     // MAGMA-like: a noticeable minority conflicted (paper ~30%).
     let magma_frac = magma.two_way_fraction() + magma.three_way_fraction();
-    assert!(
-        (0.10..=0.55).contains(&magma_frac),
-        "magma-like: {magma}"
-    );
+    assert!((0.10..=0.55).contains(&magma_frac), "magma-like: {magma}");
     // Naive: the worst (paper's first version: ~79%).
     assert!(
         naive.two_way_fraction() + naive.three_way_fraction() > magma_frac,

@@ -11,7 +11,14 @@ use peakperf::kernels::sgemm::{
 use peakperf::sass::{assemble, Module};
 use peakperf::sim::Gpu;
 
-fn reference(problem: &SgemmProblem, a: &Matrix, b: &Matrix, c0: &Matrix, alpha: f32, beta: f32) -> Matrix {
+fn reference(
+    problem: &SgemmProblem,
+    a: &Matrix,
+    b: &Matrix,
+    c0: &Matrix,
+    alpha: f32,
+    beta: f32,
+) -> Matrix {
     let mut c_ref = c0.data.clone();
     cpu::sgemm(
         problem.variant,
@@ -139,7 +146,10 @@ fn executed_mix_matches_section_4() {
         (0.78..=0.85).contains(&ffma),
         "FFMA fraction {ffma} outside band"
     );
-    assert!((0.11..=0.16).contains(&lds), "LDS fraction {lds} outside band");
+    assert!(
+        (0.11..=0.16).contains(&lds),
+        "LDS fraction {lds} outside band"
+    );
 }
 
 /// 63 registers, no spilling: the optimized kernel hits the paper's exact
