@@ -3,6 +3,7 @@
 //! ```text
 //! reproduce [options] <experiment>...
 //! reproduce all            # everything (quick mode unless --full)
+//! reproduce profile <target>... [--trace-out <path>] [--profile-out <path>]
 //!
 //! options:
 //!   --full               simulate the full problem sizes
@@ -12,6 +13,11 @@
 //!   --no-cache           disable the in-memory timing cache
 //!   --cache-dir <path>   persist timing-cache entries under <path>
 //!   --json <path>        write a machine-readable run report to <path>
+//!
+//! profile options:
+//!   --trace-out <path>   write a Chrome trace-event JSON (Perfetto /
+//!                        chrome://tracing) for the single profiled target
+//!   --profile-out <path> write the peakperf-profile-v1 JSON document
 //! ```
 //!
 //! Experiment names are validated up front; a failing experiment is
@@ -23,13 +29,22 @@ use std::process::ExitCode;
 use peakperf_bench::exec;
 use peakperf_bench::experiments::{self, Speed};
 use peakperf_bench::perf::{PerfSpan, RunReport};
+use peakperf_bench::profiling;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: reproduce [--full|--quick] [--workers <n>] [--no-cache] \
          [--cache-dir <path>] [--json <path>] <experiment>...\n\
-         experiments: {} all",
-        ALL.join(" ")
+         \x20      reproduce profile [--trace-out <path>] [--profile-out <path>] \
+         [--json <path>] <target>...\n\
+         experiments: {} all\n\
+         profile targets: {}",
+        ALL.join(" "),
+        profiling::TARGETS
+            .iter()
+            .map(|t| t.name)
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     ExitCode::FAILURE
 }
@@ -80,6 +95,9 @@ struct Options {
     json_path: Option<String>,
     cache_dir: Option<String>,
     use_cache: bool,
+    profile_mode: bool,
+    trace_out: Option<String>,
+    profile_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -89,6 +107,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json_path: None,
         cache_dir: None,
         use_cache: true,
+        profile_mode: false,
+        trace_out: None,
+        profile_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -113,12 +134,53 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--json needs a value")?;
                 opts.json_path = Some(v.clone());
             }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a value")?;
+                opts.trace_out = Some(v.clone());
+            }
+            "--profile-out" => {
+                let v = it.next().ok_or("--profile-out needs a value")?;
+                opts.profile_out = Some(v.clone());
+            }
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
+            "profile" if opts.names.is_empty() && !opts.profile_mode => {
+                opts.profile_mode = true;
+            }
             other => opts.names.push(other.to_owned()),
         }
+    }
+    if opts.profile_mode {
+        let known: Vec<&str> = profiling::TARGETS.iter().map(|t| t.name).collect();
+        if opts.names.is_empty() {
+            return Err(format!(
+                "profile needs at least one target; known: {}",
+                known.join(" ")
+            ));
+        }
+        let unknown: Vec<&str> = opts
+            .names
+            .iter()
+            .map(String::as_str)
+            .filter(|n| !known.contains(n))
+            .collect();
+        if !unknown.is_empty() {
+            return Err(format!(
+                "unknown profile target{} {}; known: {}",
+                if unknown.len() > 1 { "s" } else { "" },
+                unknown.join(", "),
+                known.join(" ")
+            ));
+        }
+        if opts.trace_out.is_some() && opts.names.len() != 1 {
+            return Err("--trace-out profiles exactly one target".to_owned());
+        }
+        return Ok(opts);
+    }
+    if opts.trace_out.is_some() || opts.profile_out.is_some() {
+        return Err("--trace-out/--profile-out require the `profile` subcommand".to_owned());
     }
     if opts.names.iter().any(|n| n == "all") {
         opts.names = ALL.iter().map(|s| (*s).to_owned()).collect();
@@ -140,6 +202,55 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         ));
     }
     Ok(opts)
+}
+
+/// Run the `profile` subcommand: each target simulates under the tracer,
+/// prints its gap decomposition + profile, and contributes a
+/// `peakperf-profile-v1` object to `--profile-out` / `--json`.
+fn run_profiles(opts: &Options, report: &mut RunReport) -> u32 {
+    let mut failures = 0u32;
+    let mut profile_jsons: Vec<String> = Vec::new();
+    for name in &opts.names {
+        let span = PerfSpan::begin();
+        let want_trace = opts.trace_out.is_some();
+        let outcome = profiling::run_target(name, want_trace).map_err(|e| e.to_string());
+        match &outcome {
+            Ok(out) => {
+                println!("{}", out.text);
+                profile_jsons.push(out.json.clone());
+                if let (Some(path), Some(chrome)) = (&opts.trace_out, &out.chrome) {
+                    if let Err(e) = std::fs::write(path, chrome) {
+                        eprintln!("error: could not write trace to {path}: {e}");
+                        failures += 1;
+                    } else {
+                        eprintln!("[trace written to {path}]");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error in profile {name}: {e}");
+                failures += 1;
+            }
+        }
+        let perf = span.finish(&format!("profile:{name}"), outcome.map(|_| ()));
+        eprintln!(
+            "[profile:{name} {} in {:.1?}]",
+            if perf.ok { "done" } else { "FAILED" },
+            perf.wall
+        );
+        report.experiments.push(perf);
+    }
+    if let Some(path) = &opts.profile_out {
+        let doc = profiling::profile_document(&profile_jsons);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: could not write profile document to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[profile document written to {path}]");
+        }
+    }
+    report.profiles = profile_jsons;
+    failures
 }
 
 fn main() -> ExitCode {
@@ -167,8 +278,24 @@ fn main() -> ExitCode {
         cache_enabled: opts.use_cache,
         cache_dir: opts.cache_dir.clone(),
         experiments: Vec::new(),
+        profiles: Vec::new(),
     };
     let mut failures = 0u32;
+    if opts.profile_mode {
+        failures += run_profiles(&opts, &mut report);
+        eprintln!("{}", report.render_text());
+        if let Some(path) = &opts.json_path {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("error: could not write JSON report to {path}: {e}");
+                failures += 1;
+            }
+        }
+        return if failures > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     for name in &opts.names {
         let span = PerfSpan::begin();
         let outcome = run_one(name, opts.speed);

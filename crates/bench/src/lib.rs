@@ -10,4 +10,5 @@ pub mod exec;
 pub mod experiments;
 pub mod harness;
 pub mod perf;
+pub mod profiling;
 pub mod report;

@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use peakperf_sim::timing::StallKind;
 use peakperf_sim::Counters;
 
 use crate::exec::JobStats;
@@ -71,6 +72,9 @@ pub struct RunReport {
     pub cache_dir: Option<String>,
     /// Per-experiment records, in execution order.
     pub experiments: Vec<ExperimentPerf>,
+    /// Kernel profiles collected during the run (`reproduce profile`),
+    /// each a pre-rendered `peakperf-profile-v1` JSON object.
+    pub profiles: Vec<String>,
 }
 
 impl RunReport {
@@ -88,6 +92,9 @@ impl RunReport {
             t.warp_instructions += e.counters.warp_instructions;
             t.cache_hits += e.counters.cache_hits;
             t.cache_misses += e.counters.cache_misses;
+            for (slot, n) in t.stall_cycles.iter_mut().zip(e.counters.stall_cycles) {
+                *slot += n;
+            }
         }
         t
     }
@@ -178,18 +185,40 @@ impl RunReport {
             );
             out.push_str("    }");
         }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"profiles\": [");
+        for (i, p) in self.profiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(p.trim_end());
+        }
         out.push_str("\n  ]\n}\n");
         out
     }
 }
 
 fn counters_json(c: &Counters, indent: &str) -> String {
+    let mut stalls = String::new();
+    for (i, kind) in StallKind::ALL.into_iter().enumerate() {
+        if i > 0 {
+            stalls.push_str(", ");
+        }
+        let _ = write!(
+            stalls,
+            "\"{}\": {}",
+            kind.as_str(),
+            c.stall_cycles[kind.index()]
+        );
+    }
     format!(
         "{{\n{indent}  \"timing_runs\": {},\n\
          {indent}  \"sim_cycles\": {},\n\
          {indent}  \"warp_instructions\": {},\n\
          {indent}  \"cache_hits\": {},\n\
-         {indent}  \"cache_misses\": {}\n{indent}}}",
+         {indent}  \"cache_misses\": {},\n\
+         {indent}  \"stall_cycles\": {{{stalls}}}\n{indent}}}",
         c.timing_runs, c.sim_cycles, c.warp_instructions, c.cache_hits, c.cache_misses
     )
 }
@@ -250,6 +279,7 @@ mod tests {
                         warp_instructions: 500,
                         cache_hits: 1,
                         cache_misses: 2,
+                        ..Counters::default()
                     },
                 },
                 ExperimentPerf {
@@ -261,6 +291,7 @@ mod tests {
                     counters: Counters::default(),
                 },
             ],
+            profiles: vec!["{\"kernel\": \"demo\", \"cycles\": 1}".to_owned()],
         }
     }
 

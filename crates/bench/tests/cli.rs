@@ -70,5 +70,68 @@ fn json_report_is_written_and_well_formed() {
     assert!(json.contains("\"experiments\""));
     assert!(json.contains("\"table1\""));
     assert!(json.contains("\"ok\": true"));
+    assert!(json.contains("\"stall_cycles\""));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_subcommand_emits_trace_and_profile_documents() {
+    let dir = std::env::temp_dir().join(format!("peakperf-cli-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let profile = dir.join("profile.json");
+    // fermi_ffma is the cheapest target (2 resident blocks, short loop).
+    let out = reproduce(&[
+        "profile",
+        "fermi_ffma",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--profile-out",
+        profile.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "profile run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== profile: fermi_ffma"));
+    assert!(text.contains("stall breakdown"));
+    let trace_json = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_json.contains("\"traceEvents\""));
+    let profile_json = std::fs::read_to_string(&profile).unwrap();
+    assert!(profile_json.contains("\"peakperf-profile-v1\""));
+    assert!(profile_json.contains("\"stall_totals\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_rejects_unknown_targets_and_misplaced_flags() {
+    let out = reproduce(&["profile", "not-a-target"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not-a-target"), "stderr: {err}");
+
+    // No target at all: error out, listing the known targets.
+    let out = reproduce(&["profile"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("table2_ffma"),
+        "stderr should list targets: {err}"
+    );
+
+    // --trace-out with several targets is ambiguous.
+    let out = reproduce(&[
+        "profile",
+        "fermi_ffma",
+        "table2_ffma",
+        "--trace-out",
+        "x.json",
+    ]);
+    assert!(!out.status.success());
+
+    // Profile flags outside the subcommand are rejected.
+    let out = reproduce(&["table1", "--trace-out", "x.json"]);
+    assert!(!out.status.success());
 }

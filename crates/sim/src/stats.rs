@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use peakperf_sass::{Instruction, OpClass};
 
+use crate::timing::StallKind;
+
 // ---------------------------------------------------------------------
 // Process-wide simulation counters
 // ---------------------------------------------------------------------
@@ -15,6 +17,14 @@ static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
 static SIM_WARP_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static STALL_CYCLES: [AtomicU64; StallKind::COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 /// A monotonic snapshot of the process-wide simulation counters.
 ///
@@ -33,36 +43,56 @@ pub struct Counters {
     pub cache_hits: u64,
     /// Timing-cache misses (lookups that had to simulate).
     pub cache_misses: u64,
+    /// Stall warp-cycles by cause, indexed by [`StallKind::index`].
+    pub stall_cycles: [u64; StallKind::COUNT],
 }
 
 impl Counters {
     /// Current values of the process-wide counters.
     pub fn snapshot() -> Counters {
+        let mut stall_cycles = [0u64; StallKind::COUNT];
+        for (slot, counter) in stall_cycles.iter_mut().zip(STALL_CYCLES.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
         Counters {
             timing_runs: TIMING_RUNS.load(Ordering::Relaxed),
             sim_cycles: SIM_CYCLES.load(Ordering::Relaxed),
             warp_instructions: SIM_WARP_INSTRUCTIONS.load(Ordering::Relaxed),
             cache_hits: CACHE_HITS.load(Ordering::Relaxed),
             cache_misses: CACHE_MISSES.load(Ordering::Relaxed),
+            stall_cycles,
         }
     }
 
     /// Counter growth since an earlier snapshot.
     pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        let mut stall_cycles = [0u64; StallKind::COUNT];
+        for (i, slot) in stall_cycles.iter_mut().enumerate() {
+            *slot = self.stall_cycles[i] - earlier.stall_cycles[i];
+        }
         Counters {
             timing_runs: self.timing_runs - earlier.timing_runs,
             sim_cycles: self.sim_cycles - earlier.sim_cycles,
             warp_instructions: self.warp_instructions - earlier.warp_instructions,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            stall_cycles,
         }
+    }
+
+    /// Total stall warp-cycles across all kinds.
+    pub fn stalled_cycles(&self) -> u64 {
+        self.stall_cycles.iter().sum()
     }
 }
 
-pub(crate) fn record_timing_run(cycles: u64, warp_instructions: u64) {
+pub(crate) fn record_timing_run(report: &crate::timing::TimingReport) {
     TIMING_RUNS.fetch_add(1, Ordering::Relaxed);
-    SIM_CYCLES.fetch_add(cycles, Ordering::Relaxed);
-    SIM_WARP_INSTRUCTIONS.fetch_add(warp_instructions, Ordering::Relaxed);
+    SIM_CYCLES.fetch_add(report.cycles, Ordering::Relaxed);
+    SIM_WARP_INSTRUCTIONS.fetch_add(report.warp_instructions, Ordering::Relaxed);
+    for (&kind, &n) in &report.stalls {
+        STALL_CYCLES[kind.index()].fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 pub(crate) fn record_cache_hit() {

@@ -21,11 +21,15 @@
 pub mod cache;
 mod calib;
 mod conflict;
+pub mod profile;
 mod sm;
+pub mod trace;
 
 pub use calib::Calibration;
 pub use conflict::{global_transactions, shared_conflict_factor};
+pub use profile::{Profile, ProfileBuilder};
 pub use sm::{StallKind, TimingReport, TimingSim};
+pub use trace::{chrome_trace, NoopSink, TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
 
 use peakperf_arch::GpuConfig;
 use peakperf_sass::Kernel;

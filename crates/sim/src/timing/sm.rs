@@ -7,6 +7,7 @@ use peakperf_sass::{validate_kernel, CtlInfo, Kernel, Op, OpClass};
 
 use crate::exec::{release_barrier, step_warp, BlockCtx, MemCtx};
 use crate::timing::conflict::{global_transactions, shared_conflict_factor, SEGMENT_BYTES};
+use crate::timing::trace::{NoopSink, TraceEvent, TraceEventKind, TraceSink, NO_PC};
 use crate::timing::Calibration;
 use crate::warp::{StepEvent, WarpState};
 use crate::{Dim3, GlobalMemory, InstMix, LaunchConfig, SimError};
@@ -36,8 +37,14 @@ pub enum StallKind {
 }
 
 impl StallKind {
-    /// Every stall kind, in serialization order.
-    pub const ALL: [StallKind; 6] = [
+    /// Number of stall kinds (the length of [`StallKind::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// Every stall kind, in declaration (= serialization) order:
+    /// `ALL[k.index()] == k` for every kind, which the property tests
+    /// assert so a new kind cannot silently desync the three views
+    /// (enum declaration, `ALL`, `as_str`/`parse`).
+    pub const ALL: [StallKind; StallKind::COUNT] = [
         StallKind::Scoreboard,
         StallKind::Pipe,
         StallKind::IssueTokens,
@@ -45,6 +52,20 @@ impl StallKind {
         StallKind::CtlStall,
         StallKind::HazardReplay,
     ];
+
+    /// This kind's position in [`StallKind::ALL`] — the canonical index
+    /// used by dense per-kind counter arrays (e.g.
+    /// [`crate::Counters::stall_cycles`]).
+    pub const fn index(self) -> usize {
+        match self {
+            StallKind::Scoreboard => 0,
+            StallKind::Pipe => 1,
+            StallKind::IssueTokens => 2,
+            StallKind::Barrier => 3,
+            StallKind::CtlStall => 4,
+            StallKind::HazardReplay => 5,
+        }
+    }
 
     /// Stable identifier used in reports and the on-disk timing cache.
     pub fn as_str(self) -> &'static str {
@@ -251,6 +272,25 @@ impl TimingSim {
     /// Propagates memory faults and reports [`SimError::StepLimit`] if the
     /// cycle limit is exceeded.
     pub fn run(&mut self, memory: &mut GlobalMemory) -> Result<TimingReport, SimError> {
+        self.run_traced(memory, &mut NoopSink)
+    }
+
+    /// Like [`TimingSim::run`], but streams per-cycle scheduler events
+    /// (issues, stalls with [`StallKind`] attribution, barrier releases,
+    /// warp exits) into `sink`.
+    ///
+    /// Sinks are pure observers, so the timing result is identical to an
+    /// untraced run; with the default [`NoopSink`] every emission site
+    /// compiles away (see [`crate::timing::trace`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TimingSim::run`].
+    pub fn run_traced<S: TraceSink>(
+        &mut self,
+        memory: &mut GlobalMemory,
+        sink: &mut S,
+    ) -> Result<TimingReport, SimError> {
         let threads = self.config.threads_per_block();
         let warps_per_block = self.config.warps_per_block();
         let n_warps = (warps_per_block * self.resident_blocks) as usize;
@@ -372,12 +412,33 @@ impl TimingSim {
                         local_miss_fraction,
                         &mut report,
                     )? {
-                        IssueResult::Issued => {
+                        IssueResult::Issued { pc, lanes } => {
+                            if S::ENABLED {
+                                sink.record(TraceEvent {
+                                    cycle,
+                                    scheduler: sched as u8,
+                                    warp: w as u16,
+                                    pc,
+                                    kind: TraceEventKind::Issue {
+                                        lanes: lanes as u8,
+                                        dual: false,
+                                    },
+                                });
+                                if slots[w].done {
+                                    sink.record(TraceEvent {
+                                        cycle,
+                                        scheduler: sched as u8,
+                                        warp: w as u16,
+                                        pc,
+                                        kind: TraceEventKind::WarpExit,
+                                    });
+                                }
+                            }
                             issued_from = Some((start + k) % owned.len());
                             // Dual dispatch: try one more instruction from
                             // the same warp (Kepler's second dispatch unit).
                             if self.calib.dispatch_per_scheduler > 1 {
-                                let _ = self.try_issue(
+                                let second = self.try_issue(
                                     w,
                                     cycle,
                                     &mut slots,
@@ -390,11 +451,43 @@ impl TimingSim {
                                     local_miss_fraction,
                                     &mut report,
                                 )?;
+                                if S::ENABLED {
+                                    if let IssueResult::Issued { pc, lanes } = second {
+                                        sink.record(TraceEvent {
+                                            cycle,
+                                            scheduler: sched as u8,
+                                            warp: w as u16,
+                                            pc,
+                                            kind: TraceEventKind::Issue {
+                                                lanes: lanes as u8,
+                                                dual: true,
+                                            },
+                                        });
+                                        if slots[w].done {
+                                            sink.record(TraceEvent {
+                                                cycle,
+                                                scheduler: sched as u8,
+                                                warp: w as u16,
+                                                pc,
+                                                kind: TraceEventKind::WarpExit,
+                                            });
+                                        }
+                                    }
+                                }
                             }
                             break;
                         }
-                        IssueResult::Blocked(kind) => {
+                        IssueResult::Blocked { kind, pc } => {
                             *report.stalls.entry(kind).or_insert(0) += 1;
+                            if S::ENABLED {
+                                sink.record(TraceEvent {
+                                    cycle,
+                                    scheduler: sched as u8,
+                                    warp: w as u16,
+                                    pc,
+                                    kind: TraceEventKind::Stall(kind),
+                                });
+                            }
                         }
                         IssueResult::NotReady => {}
                     }
@@ -417,10 +510,21 @@ impl TimingSim {
                     for &w in &running {
                         let slot = &mut slots[w];
                         slot.at_barrier = false;
+                        let mut bar_pc = NO_PC;
                         if let Some((pc, _)) = slot.state.current_group() {
                             release_barrier(&mut slot.state, pc);
+                            bar_pc = pc;
                         }
                         slot.next_issue = cycle + u64::from(self.calib.barrier_latency);
+                        if S::ENABLED {
+                            sink.record(TraceEvent {
+                                cycle,
+                                scheduler: (w % schedulers) as u8,
+                                warp: w as u16,
+                                pc: bar_pc,
+                                kind: TraceEventKind::BarrierRelease,
+                            });
+                        }
                     }
                 }
             }
@@ -428,7 +532,7 @@ impl TimingSim {
             cycle += 1;
         }
         report.cycles = cycle.max(1);
-        crate::stats::record_timing_run(report.cycles, report.warp_instructions);
+        crate::stats::record_timing_run(&report);
         Ok(report)
     }
 
@@ -485,10 +589,16 @@ impl TimingSim {
             return Ok(IssueResult::NotReady);
         }
         if slot.at_barrier {
-            return Ok(IssueResult::Blocked(StallKind::Barrier));
+            return Ok(IssueResult::Blocked {
+                kind: StallKind::Barrier,
+                pc: NO_PC,
+            });
         }
         if slot.next_issue > cycle {
-            return Ok(IssueResult::Blocked(StallKind::CtlStall));
+            return Ok(IssueResult::Blocked {
+                kind: StallKind::CtlStall,
+                pc: NO_PC,
+            });
         }
         let Some((pc, _mask)) = slot.state.current_group() else {
             slot.done = true;
@@ -530,9 +640,15 @@ impl TimingSim {
                     slot.hazard &= !(1 << r.index());
                 }
                 report.hazard_replays += 1;
-                return Ok(IssueResult::Blocked(StallKind::HazardReplay));
+                return Ok(IssueResult::Blocked {
+                    kind: StallKind::HazardReplay,
+                    pc,
+                });
             }
-            return Ok(IssueResult::Blocked(StallKind::Scoreboard));
+            return Ok(IssueResult::Blocked {
+                kind: StallKind::Scoreboard,
+                pc,
+            });
         }
 
         // Structural pipes.
@@ -542,10 +658,16 @@ impl TimingSim {
             OpClass::Fp32 | OpClass::Int | OpClass::IntMul | OpClass::Mov
         );
         if is_mem && *ldst_free >= (cycle + 1) as f64 {
-            return Ok(IssueResult::Blocked(StallKind::Pipe));
+            return Ok(IssueResult::Blocked {
+                kind: StallKind::Pipe,
+                pc,
+            });
         }
         if is_math && *sp_free >= (cycle + 1) as f64 {
-            return Ok(IssueResult::Blocked(StallKind::Pipe));
+            return Ok(IssueResult::Blocked {
+                kind: StallKind::Pipe,
+                pc,
+            });
         }
 
         // Kepler issue tokens.
@@ -555,7 +677,10 @@ impl TimingSim {
                     .token_cost(&inst.op, meta.token_ways, meta.ctl.dual, meta.distinct_srcs)
                     as f64;
             if *tokens < c {
-                return Ok(IssueResult::Blocked(StallKind::IssueTokens));
+                return Ok(IssueResult::Blocked {
+                    kind: StallKind::IssueTokens,
+                    pc,
+                });
             }
             c
         } else {
@@ -575,22 +700,25 @@ impl TimingSim {
 
         *tokens -= cost;
 
+        let issued_lanes: u32;
         match result.event {
             StepEvent::AtBarrier { .. } => {
                 slot.at_barrier = true;
                 report.warp_instructions += 1;
-                report.thread_instructions += u64::from(slot.state.running_mask().count_ones());
+                let lanes = slot.state.running_mask().count_ones();
+                report.thread_instructions += u64::from(lanes);
                 report.mix.record(inst, 1);
-                return Ok(IssueResult::Issued);
+                return Ok(IssueResult::Issued { pc, lanes });
             }
             StepEvent::Exited => {
                 slot.done = true;
                 report.warp_instructions += 1;
                 report.mix.record(inst, 1);
-                return Ok(IssueResult::Issued);
+                return Ok(IssueResult::Issued { pc, lanes: 0 });
             }
             StepEvent::Executed { exec_mask, .. } => {
                 let lanes = exec_mask.count_ones();
+                issued_lanes = lanes;
                 report.warp_instructions += 1;
                 report.thread_instructions += u64::from(lanes);
                 report.mix.record(inst, 1);
@@ -691,7 +819,10 @@ impl TimingSim {
             slot.sb_pred[p.index() as usize] = result_ready;
         }
 
-        Ok(IssueResult::Issued)
+        Ok(IssueResult::Issued {
+            pc,
+            lanes: issued_lanes,
+        })
     }
 
     fn sp_rate(&self) -> f64 {
@@ -705,8 +836,8 @@ impl TimingSim {
 }
 
 enum IssueResult {
-    Issued,
-    Blocked(StallKind),
+    Issued { pc: u32, lanes: u32 },
+    Blocked { kind: StallKind, pc: u32 },
     NotReady,
 }
 

@@ -1,0 +1,370 @@
+//! Cycle-level event tracing for the timing simulator.
+//!
+//! The simulator's scheduler loop emits one [`TraceEvent`] per issue
+//! attempt outcome — an instruction issued (primary or dual dispatch
+//! slot), a runnable warp blocked with a [`StallKind`], a barrier
+//! released, a warp exited. Consumers implement [`TraceSink`]; the two
+//! in-tree sinks are [`TraceBuffer`] (records raw events, for the Chrome
+//! trace export) and [`super::profile::ProfileBuilder`] (aggregates
+//! in-flight, for arbitrarily long runs).
+//!
+//! # Overhead guarantee
+//!
+//! Tracing must never perturb timing and must cost nothing when unused.
+//! [`TraceSink`] therefore carries an associated `const ENABLED`; every
+//! emission site in the simulator is guarded by `if S::ENABLED`, which for
+//! the default [`NoopSink`] is a compile-time `false` — the untraced
+//! monomorphization of the scheduler loop contains no tracing code at
+//! all. Sinks only *observe*: nothing they return feeds back into the
+//! simulation, so a traced run and an untraced run of the same kernel
+//! produce identical cycle counts (asserted by `tests/trace.rs`).
+
+use std::fmt::Write as _;
+
+use peakperf_sass::Kernel;
+
+use crate::timing::sm::StallKind;
+
+/// Sentinel PC for events where the instruction index is not known
+/// without extra work (e.g. a warp parked at a barrier).
+pub const NO_PC: u32 = u32::MAX;
+
+/// What happened at one (cycle, scheduler, warp) point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A warp instruction issued.
+    Issue {
+        /// Active lanes of the issued instruction.
+        lanes: u8,
+        /// Whether this went through the scheduler's second dispatch
+        /// slot (Kepler dual issue).
+        dual: bool,
+    },
+    /// A runnable warp could not issue, for the given reason.
+    Stall(StallKind),
+    /// The warp was released from a block-wide barrier.
+    BarrierRelease,
+    /// The warp executed its last instruction and left the SM.
+    WarpExit,
+}
+
+/// One per-cycle scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Shader cycle the event happened on.
+    pub cycle: u64,
+    /// Scheduler that attempted the issue.
+    pub scheduler: u8,
+    /// Warp slot index on the SM.
+    pub warp: u16,
+    /// Instruction index, or [`NO_PC`] when unknown.
+    pub pc: u32,
+    /// The event payload.
+    pub kind: TraceEventKind,
+}
+
+/// A consumer of trace events.
+///
+/// Implementations must be pure observers: recording an event may not
+/// influence the simulation. The `ENABLED` constant lets the compiler
+/// remove every emission site from the no-op instantiation.
+pub trait TraceSink {
+    /// Whether this sink observes anything at all. Emission sites are
+    /// guarded with `if S::ENABLED`, so a `false` here erases them.
+    const ENABLED: bool = true;
+
+    /// Observe one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The default sink: records nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Default event cap of a [`TraceBuffer`] (~112 MB of events).
+pub const DEFAULT_TRACE_LIMIT: usize = 4_000_000;
+
+/// A sink that stores raw events in memory, up to a cap.
+///
+/// Past the cap further events are counted but dropped, so a runaway
+/// kernel cannot exhaust memory; [`TraceBuffer::dropped`] tells consumers
+/// the record is incomplete.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    limit: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// An empty buffer with the default cap.
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::with_limit(DEFAULT_TRACE_LIMIT)
+    }
+
+    /// An empty buffer that keeps at most `limit` events.
+    pub fn with_limit(limit: usize) -> TraceBuffer {
+        TraceBuffer {
+            events: Vec::new(),
+            limit,
+            dropped: 0,
+        }
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.limit {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Fan one event stream out to two sinks (e.g. a [`TraceBuffer`] for the
+/// Chrome export and a `ProfileBuilder` for aggregation, in one run).
+#[derive(Debug)]
+pub struct Tee<'a, A, B>(pub &'a mut A, pub &'a mut B);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn record(&mut self, event: TraceEvent) {
+        if A::ENABLED {
+            self.0.record(event);
+        }
+        if B::ENABLED {
+            self.1.record(event);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+/// Render a recorded trace as Chrome trace-event JSON (the format
+/// `chrome://tracing` and Perfetto load).
+///
+/// Mapping: one process (`pid` 0, the SM); one thread per warp (`tid` =
+/// warp slot, named `warp N (sched S)`); issues and stalls are complete
+/// (`"ph":"X"`) events one cycle long; barrier releases and warp exits
+/// are instant (`"ph":"i"`) events. Timestamps are shader *cycles*, not
+/// microseconds — `otherData.unit` records this.
+pub fn chrome_trace(buffer: &TraceBuffer, kernel: &Kernel, schedulers: u32) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut emit = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    ");
+        out.push_str(&line);
+    };
+
+    // Thread-name metadata for every warp that appears.
+    let mut warps: Vec<u16> = buffer.events.iter().map(|e| e.warp).collect();
+    warps.sort_unstable();
+    warps.dedup();
+    for &w in &warps {
+        let sched = u32::from(w) % schedulers.max(1);
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
+                 \"args\":{{\"name\":\"warp {w} (sched {sched})\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+
+    for e in &buffer.events {
+        let name = match e.kind {
+            TraceEventKind::Issue { .. } => kernel
+                .code
+                .get(e.pc as usize)
+                .map(|inst| inst.to_string())
+                .unwrap_or_else(|| format!("pc {:#x}", e.pc)),
+            TraceEventKind::Stall(kind) => format!("stall:{}", kind.as_str()),
+            TraceEventKind::BarrierRelease => "barrier_release".to_owned(),
+            TraceEventKind::WarpExit => "warp_exit".to_owned(),
+        };
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"name\":{},\"ph\":\"{}\",\"ts\":{},",
+            json_string(&name),
+            match e.kind {
+                TraceEventKind::Issue { .. } | TraceEventKind::Stall(_) => "X",
+                TraceEventKind::BarrierRelease | TraceEventKind::WarpExit => "i",
+            },
+            e.cycle
+        );
+        if matches!(
+            e.kind,
+            TraceEventKind::Issue { .. } | TraceEventKind::Stall(_)
+        ) {
+            line.push_str("\"dur\":1,");
+        }
+        if matches!(
+            e.kind,
+            TraceEventKind::BarrierRelease | TraceEventKind::WarpExit
+        ) {
+            line.push_str("\"s\":\"t\",");
+        }
+        let _ = write!(line, "\"pid\":0,\"tid\":{},", e.warp);
+        let cat = match e.kind {
+            TraceEventKind::Issue { .. } => "issue",
+            TraceEventKind::Stall(_) => "stall",
+            TraceEventKind::BarrierRelease => "barrier",
+            TraceEventKind::WarpExit => "exit",
+        };
+        let _ = write!(line, "\"cat\":\"{cat}\",");
+        match e.kind {
+            TraceEventKind::Issue { lanes, dual } => {
+                let _ = write!(
+                    line,
+                    "\"args\":{{\"pc\":{},\"scheduler\":{},\"lanes\":{lanes},\"dual\":{dual}}}}}",
+                    e.pc, e.scheduler
+                );
+            }
+            _ => {
+                let _ = write!(line, "\"args\":{{\"scheduler\":{}}}}}", e.scheduler);
+            }
+        }
+        emit(line, &mut out);
+    }
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {{\n    \"kernel\": {},\n    \
+         \"unit\": \"shader cycles\",\n    \"schedulers\": {},\n    \"dropped_events\": {}\n  }}",
+        json_string(&kernel.name),
+        schedulers,
+        buffer.dropped
+    );
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// Escape a string per RFC 8259.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, warp: u16, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            scheduler: (warp % 2) as u8,
+            warp,
+            pc: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn buffer_caps_and_counts_drops() {
+        let mut buf = TraceBuffer::with_limit(2);
+        for i in 0..5 {
+            buf.record(ev(i, 0, TraceEventKind::Stall(StallKind::Scoreboard)));
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut a = TraceBuffer::new();
+        let mut b = TraceBuffer::new();
+        let mut tee = Tee(&mut a, &mut b);
+        tee.record(ev(1, 3, TraceEventKind::WarpExit));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.events()[0], b.events()[0]);
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        const {
+            assert!(!NoopSink::ENABLED);
+            assert!(TraceBuffer::ENABLED);
+            assert!(<Tee<'_, NoopSink, TraceBuffer> as TraceSink>::ENABLED);
+            assert!(!<Tee<'_, NoopSink, NoopSink> as TraceSink>::ENABLED);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json() {
+        let mut buf = TraceBuffer::new();
+        buf.record(ev(
+            0,
+            0,
+            TraceEventKind::Issue {
+                lanes: 32,
+                dual: false,
+            },
+        ));
+        buf.record(ev(1, 1, TraceEventKind::Stall(StallKind::Pipe)));
+        buf.record(ev(2, 0, TraceEventKind::BarrierRelease));
+        buf.record(ev(3, 1, TraceEventKind::WarpExit));
+        let kernel = Kernel::new("t");
+        let json = chrome_trace(&buf, &kernel, 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("stall:pipe"));
+        assert!(json.contains("warp_exit"));
+        assert!(json.contains("\"unit\": \"shader cycles\""));
+    }
+}

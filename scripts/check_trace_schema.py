@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate `reproduce profile` JSON output against the checked-in schema.
+
+Usage:
+    scripts/check_trace_schema.py --profile profile.json [--trace trace.json]
+
+Checks, for the peakperf-profile-v1 document:
+  * required keys and their types (scripts/trace_schema.json);
+  * the document's stall_kinds list matches the schema's, in order —
+    adding a StallKind in the simulator without updating the schema (or
+    reordering the serialization) fails CI;
+  * per-profile invariant: the per-kind stall totals sum to
+    stalled_cycles (the acceptance criterion of the observability layer).
+
+For the Chrome trace: required top-level keys, event shape on a sample of
+events, and that every stall event names a known stall kind.
+
+Exit code 0 on success, 1 on any violation (all violations are listed).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
+
+TYPES = {
+    "str": str,
+    "int": int,
+    "number": (int, float),
+    "list": list,
+    "dict": dict,
+}
+
+
+def check_required(obj, spec, where, errors):
+    for key, type_name in spec.items():
+        if key not in obj:
+            errors.append(f"{where}: missing required key `{key}`")
+            continue
+        expected = TYPES[type_name]
+        if isinstance(obj[key], bool) or not isinstance(obj[key], expected):
+            errors.append(
+                f"{where}: key `{key}` should be {type_name}, "
+                f"got {type(obj[key]).__name__}"
+            )
+
+
+def check_profile_document(doc, schema, errors):
+    check_required(doc, schema["profile_document"]["required"], "profile document", errors)
+    if doc.get("schema") != schema["profile_schema"]:
+        errors.append(
+            f"profile document: schema is {doc.get('schema')!r}, "
+            f"expected {schema['profile_schema']!r}"
+        )
+    kinds = schema["stall_kinds"]
+    if doc.get("stall_kinds") != kinds:
+        errors.append(
+            "profile document: stall_kinds drifted from scripts/trace_schema.json\n"
+            f"  document: {doc.get('stall_kinds')}\n"
+            f"  schema:   {kinds}\n"
+            "  (update the schema if StallKind changed on purpose)"
+        )
+    for i, entry in enumerate(doc.get("profiles", [])):
+        where = f"profiles[{i}]"
+        check_required(entry, schema["profile_entry"]["required"], where, errors)
+        body = entry.get("profile")
+        if not isinstance(body, dict):
+            continue
+        check_required(body, schema["profile_body"]["required"], f"{where}.profile", errors)
+        totals = body.get("stall_totals", {})
+        if isinstance(totals, dict):
+            if sorted(totals.keys()) != sorted(kinds):
+                errors.append(
+                    f"{where}.profile.stall_totals keys {sorted(totals.keys())} "
+                    f"!= schema stall kinds {sorted(kinds)}"
+                )
+            total = sum(v for v in totals.values() if isinstance(v, int))
+            if total != body.get("stalled_cycles"):
+                errors.append(
+                    f"{where}.profile: stall_totals sum {total} != "
+                    f"stalled_cycles {body.get('stalled_cycles')}"
+                )
+        for key in ("gap_attribution",):
+            attribution = entry.get(key, {})
+            for label in attribution:
+                if label not in kinds and label != "loop_control":
+                    errors.append(f"{where}.{key}: unknown gap source {label!r}")
+
+
+def check_chrome_trace(doc, schema, errors):
+    spec = schema["chrome_trace"]
+    check_required(doc, spec["required"], "chrome trace", errors)
+    kinds = set(schema["stall_kinds"])
+    events = doc.get("traceEvents", [])
+    if not events:
+        errors.append("chrome trace: traceEvents is empty")
+    for i, event in enumerate(events):
+        required = dict(spec["event_required"])
+        if event.get("ph") == "M":
+            # Metadata records (thread names) carry no timestamp.
+            required.pop("ts", None)
+        check_required(event, required, f"traceEvents[{i}]", errors)
+        if event.get("cat") == "stall":
+            name = event.get("name", "")
+            kind = name.removeprefix("stall:")
+            if kind not in kinds:
+                errors.append(f"traceEvents[{i}]: unknown stall kind in {name!r}")
+        if len(errors) > 20:
+            errors.append("... (stopping after 20 violations)")
+            return
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", help="peakperf-profile-v1 document to validate")
+    parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    args = parser.parse_args()
+    if not args.profile and not args.trace:
+        parser.error("nothing to validate: pass --profile and/or --trace")
+
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    if args.profile:
+        with open(args.profile, encoding="utf-8") as f:
+            check_profile_document(json.load(f), schema, errors)
+    if args.trace:
+        with open(args.trace, encoding="utf-8") as f:
+            check_chrome_trace(json.load(f), schema, errors)
+
+    if errors:
+        print(f"schema check FAILED ({len(errors)} violation(s)):", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    checked = " and ".join(p for p in (args.profile, args.trace) if p)
+    print(f"schema check OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

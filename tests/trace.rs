@@ -1,0 +1,250 @@
+//! Integration tests for the observability subsystem: tracing must not
+//! perturb timing, stall attribution must account for every stall the
+//! report counts, the Chrome-trace export must stay byte-stable on a
+//! golden kernel, and the `StallKind` string/index views must stay in
+//! sync (property-tested with the in-repo deterministic PRNG, in the
+//! style of `proptests.rs`).
+
+use peakperf::arch::{Generation, GpuConfig};
+use peakperf::kernels::microbench::math::{build_math_kernel, table2_patterns};
+use peakperf::kernels::rng::Rng;
+use peakperf::sass::{CtlInfo, Kernel, KernelBuilder, Operand, Reg};
+use peakperf::sim::timing::{
+    chrome_trace, Profile, ProfileBuilder, StallKind, TimingReport, TimingSim, TraceBuffer,
+};
+use peakperf::sim::{GlobalMemory, LaunchConfig};
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// A tiny two-warp Fermi kernel with a barrier: enough structure to
+/// exercise issue, scoreboard/ctl stalls, a barrier release, and exits.
+fn two_warp_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("golden2w", Generation::Fermi);
+    b.mov_f32(Reg::r(1), 1.5);
+    b.mov_f32(Reg::r(4), 2.5);
+    for k in 0..4 {
+        b.ffma(Reg::r(8 + k), Reg::r(1), Operand::reg(4), Reg::r(8 + k));
+    }
+    b.bar();
+    b.ffma(Reg::r(8), Reg::r(1), Operand::reg(4), Reg::r(8));
+    b.exit();
+    b.finish().unwrap()
+}
+
+fn run_pair(
+    gpu: &GpuConfig,
+    kernel: &Kernel,
+    config: LaunchConfig,
+    resident: u32,
+) -> (TimingReport, TimingReport, TraceBuffer, Profile) {
+    let mut mem = GlobalMemory::new();
+    let mut untraced = TimingSim::new(gpu, kernel, config, &[], resident).unwrap();
+    let plain = untraced.run(&mut mem).unwrap();
+
+    let mut mem = GlobalMemory::new();
+    let mut traced = TimingSim::new(gpu, kernel, config, &[], resident).unwrap();
+    let mut buffer = TraceBuffer::new();
+    let mut builder = ProfileBuilder::new();
+    let mut tee = peakperf::sim::timing::trace::Tee(&mut buffer, &mut builder);
+    let report = traced.run_traced(&mut mem, &mut tee).unwrap();
+    let profile = builder.finish(kernel, &report);
+    (plain, report, buffer, profile)
+}
+
+// ---------------------------------------------------------------------
+// Tracing must not perturb timing
+// ---------------------------------------------------------------------
+
+#[test]
+fn traced_and_untraced_runs_are_cycle_identical() {
+    for gpu in [GpuConfig::gtx580(), GpuConfig::gtx680()] {
+        for pattern in table2_patterns().iter().step_by(7) {
+            let kernel = build_math_kernel(gpu.generation, pattern, 32, 4).unwrap();
+            let config = LaunchConfig::linear(2, 128);
+            let (plain, traced, _, _) = run_pair(&gpu, &kernel, config, 2);
+            assert_eq!(plain.cycles, traced.cycles, "{} {}", gpu.name, kernel.name);
+            assert_eq!(plain.warp_instructions, traced.warp_instructions);
+            assert_eq!(plain.thread_instructions, traced.thread_instructions);
+            assert_eq!(plain.stalls, traced.stalls);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stall attribution accounting
+// ---------------------------------------------------------------------
+
+#[test]
+fn trace_stalls_account_for_every_reported_stall() {
+    let gpu = GpuConfig::gtx680();
+    let pattern = &table2_patterns()[7]; // FFMA R0,R1,R4,R5
+    let kernel = build_math_kernel(gpu.generation, pattern, 16, 8).unwrap();
+    let (_, report, buffer, profile) = run_pair(&gpu, &kernel, LaunchConfig::linear(4, 256), 4);
+
+    let reported: u64 = report.stalls.values().sum();
+    assert_eq!(profile.stalled_cycles(), reported);
+    for kind in StallKind::ALL {
+        let traced = profile.stall_totals[kind.index()];
+        let counted = report.stalls.get(&kind).copied().unwrap_or(0);
+        assert_eq!(traced, counted, "stall kind {}", kind.as_str());
+    }
+    // The trace-event view agrees with the aggregated view.
+    let mut from_events = [0u64; StallKind::COUNT];
+    for e in buffer.events() {
+        if let peakperf::sim::timing::TraceEventKind::Stall(k) = e.kind {
+            from_events[k.index()] += 1;
+        }
+    }
+    assert_eq!(from_events, profile.stall_totals);
+    // Every issued warp instruction appears in the trace.
+    assert_eq!(profile.issues, report.warp_instructions);
+}
+
+#[test]
+fn per_warp_and_per_scheduler_stalls_sum_to_total() {
+    let gpu = GpuConfig::gtx680();
+    let kernel = build_math_kernel(gpu.generation, &table2_patterns()[9], 16, 8).unwrap();
+    let (_, _, _, profile) = run_pair(&gpu, &kernel, LaunchConfig::linear(4, 256), 4);
+    let per_warp: u64 = profile.per_warp.iter().map(|w| w.stalled()).sum();
+    let per_sched: u64 = profile.per_sched.iter().map(|s| s.stalls).sum();
+    assert_eq!(per_warp, profile.stalled_cycles());
+    assert_eq!(per_sched, profile.stalled_cycles());
+    let issues: u64 = profile.per_warp.iter().map(|w| w.issues).sum();
+    assert_eq!(issues, profile.issues);
+}
+
+// ---------------------------------------------------------------------
+// Golden Chrome-trace export
+// ---------------------------------------------------------------------
+
+#[test]
+fn chrome_trace_of_two_warp_kernel_matches_golden_file() {
+    let gpu = GpuConfig::gtx580();
+    let kernel = two_warp_kernel();
+    let mut mem = GlobalMemory::new();
+    let mut sim = TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 64), &[], 1).unwrap();
+    let mut buffer = TraceBuffer::new();
+    sim.run_traced(&mut mem, &mut buffer).unwrap();
+    assert_eq!(buffer.dropped(), 0);
+    let json = chrome_trace(&buffer, &kernel, 2);
+
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace_2warp.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, golden,
+        "Chrome-trace export drifted from tests/golden_trace_2warp.json; \
+         if intentional, regenerate with UPDATE_GOLDEN=1 cargo test"
+    );
+}
+
+// ---------------------------------------------------------------------
+// StallKind view-sync properties (satellite: lock serialization order)
+// ---------------------------------------------------------------------
+
+#[test]
+fn stallkind_all_matches_declaration_and_index() {
+    assert_eq!(StallKind::ALL.len(), StallKind::COUNT);
+    for (i, kind) in StallKind::ALL.into_iter().enumerate() {
+        assert_eq!(kind.index(), i, "ALL[{i}] = {} out of place", kind.as_str());
+    }
+    // Declaration order is the Ord order; ALL must follow it so the
+    // serialized order (cache files, JSON reports) equals the enum order.
+    let mut sorted = StallKind::ALL;
+    sorted.sort();
+    assert_eq!(sorted, StallKind::ALL);
+}
+
+#[test]
+fn stallkind_strings_round_trip_and_are_unique() {
+    for kind in StallKind::ALL {
+        assert_eq!(StallKind::parse(kind.as_str()), Some(kind));
+    }
+    let mut names: Vec<&str> = StallKind::ALL.iter().map(|k| k.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), StallKind::COUNT, "duplicate as_str strings");
+}
+
+#[test]
+fn stallkind_parse_rejects_non_canonical_strings() {
+    // Property: parse() only accepts the exact as_str spellings — sampled
+    // mutations of valid names (case flips, prefixes, truncations) fail.
+    let mut rng = Rng::seed_from_u64(0x5ca1ab1e);
+    for case in 0..200u32 {
+        let kind = StallKind::ALL[rng.gen_below(StallKind::COUNT as u64) as usize];
+        let name = kind.as_str();
+        let mutated = match rng.gen_below(4) {
+            0 => name.to_uppercase(),
+            1 => format!(" {name}"),
+            2 => format!("{name}x"),
+            _ => name[..name.len() - 1].to_owned(),
+        };
+        assert_ne!(mutated, name, "case {case} produced an identity mutation");
+        assert_eq!(
+            StallKind::parse(&mutated),
+            None,
+            "case {case}: parse accepted {mutated:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-wide stall counters
+// ---------------------------------------------------------------------
+
+#[test]
+fn counters_accumulate_stall_cycles() {
+    use peakperf::sim::Counters;
+    let gpu = GpuConfig::gtx680();
+    let kernel = build_math_kernel(gpu.generation, &table2_patterns()[7], 16, 8).unwrap();
+    let before = Counters::snapshot();
+    let mut mem = GlobalMemory::new();
+    let mut sim = TimingSim::new(&gpu, &kernel, LaunchConfig::linear(4, 256), &[], 4).unwrap();
+    let report = sim.run(&mut mem).unwrap();
+    let delta = Counters::snapshot().delta_since(&before);
+    // Other tests run concurrently in this process, so the delta is a
+    // lower bound, not an exact match.
+    let reported: u64 = report.stalls.values().sum();
+    assert!(delta.stalled_cycles() >= reported);
+    for (&kind, &n) in &report.stalls {
+        assert!(delta.stall_cycles[kind.index()] >= n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Control-notation kernels keep their ctl-stall attribution
+// ---------------------------------------------------------------------
+
+#[test]
+fn kepler_ctl_kernel_traces_dual_issues() {
+    let gpu = GpuConfig::gtx680();
+    let mut b = KernelBuilder::new("dualpair", gpu.generation);
+    b.mov_f32(Reg::r(1), 1.0);
+    b.mov_f32(Reg::r(4), 2.0);
+    b.mov_f32(Reg::r(5), 3.0);
+    for k in 0..8 {
+        let ctl = if k % 2 == 0 {
+            CtlInfo::dual_stall(1)
+        } else {
+            CtlInfo::stall(1)
+        };
+        b.with_ctl(ctl);
+        b.ffma(Reg::r(24 + (k % 4)), Reg::r(1), Operand::reg(4), Reg::r(5));
+    }
+    b.exit();
+    let kernel = b.finish().unwrap();
+    let (plain, traced, _, profile) = run_pair(&gpu, &kernel, LaunchConfig::linear(4, 256), 4);
+    assert_eq!(plain.cycles, traced.cycles);
+    assert!(
+        profile.dual_issues > 0,
+        "dual-flagged FFMA pairs should use the second dispatch slot"
+    );
+    let text = profile.render_text();
+    assert!(text.contains("per-instruction issue histogram"));
+}
