@@ -48,6 +48,15 @@ impl Generation {
         matches!(self, Generation::Kepler)
     }
 
+    /// Maximum static shared memory per block, in bytes (16 KB on GT200;
+    /// 48 KB of the 64 KB unified array on Fermi/Kepler, Section 5.5).
+    pub fn max_shared_bytes_per_block(self) -> u32 {
+        match self {
+            Generation::Gt200 => 16 * 1024,
+            Generation::Fermi | Generation::Kepler => 48 * 1024,
+        }
+    }
+
     /// Whether the register file is split into 4 banks with FFMA operand
     /// conflicts (Kepler only, Section 3.3).
     pub fn has_register_banks(self) -> bool {

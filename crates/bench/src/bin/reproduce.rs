@@ -4,6 +4,8 @@
 //! reproduce [options] <experiment>...
 //! reproduce all            # everything (quick mode unless --full)
 //! reproduce profile <target>... [--trace-out <path>] [--profile-out <path>]
+//! reproduce fuzz [--seed <n>] [--iters <n>] [--gpu <gen>]...
+//!                [--corpus-dir <path>] [--replay <dir>]
 //!
 //! options:
 //!   --full               simulate the full problem sizes
@@ -18,16 +20,27 @@
 //!   --trace-out <path>   write a Chrome trace-event JSON (Perfetto /
 //!                        chrome://tracing) for the single profiled target
 //!   --profile-out <path> write the peakperf-profile-v1 JSON document
+//!
+//! fuzz options:
+//!   --seed <n>           campaign master seed (default 1)
+//!   --iters <n>          number of mutants (default 500)
+//!   --gpu <gen>          fermi|kepler|gt200, repeatable (default both
+//!                        paper GPUs: fermi and kepler)
+//!   --corpus-dir <path>  write minimized violations as .case files
+//!   --replay <dir>       replay a corpus directory instead of fuzzing
 //! ```
 //!
-//! Experiment names are validated up front; a failing experiment is
-//! reported and the remaining ones still run, with the exit code
-//! reflecting whether any failed.
+//! Experiment names are validated up front; a failing (or panicking)
+//! experiment is reported and the remaining ones still run, with the exit
+//! code reflecting whether any failed.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
+use peakperf_arch::Generation;
 use peakperf_bench::exec;
 use peakperf_bench::experiments::{self, Speed};
+use peakperf_bench::fault;
 use peakperf_bench::perf::{PerfSpan, RunReport};
 use peakperf_bench::profiling;
 
@@ -37,6 +50,8 @@ fn usage() -> ExitCode {
          [--cache-dir <path>] [--json <path>] <experiment>...\n\
          \x20      reproduce profile [--trace-out <path>] [--profile-out <path>] \
          [--json <path>] <target>...\n\
+         \x20      reproduce fuzz [--seed <n>] [--iters <n>] [--gpu <gen>]... \
+         [--corpus-dir <path>] [--replay <dir>] [--json <path>]\n\
          experiments: {} all\n\
          profile targets: {}",
         ALL.join(" "),
@@ -98,6 +113,12 @@ struct Options {
     profile_mode: bool,
     trace_out: Option<String>,
     profile_out: Option<String>,
+    fuzz_mode: bool,
+    fuzz_seed: u64,
+    fuzz_iters: u64,
+    fuzz_gpus: Vec<Generation>,
+    corpus_dir: Option<String>,
+    replay_dir: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -110,6 +131,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile_mode: false,
         trace_out: None,
         profile_out: None,
+        fuzz_mode: false,
+        fuzz_seed: 1,
+        fuzz_iters: 500,
+        fuzz_gpus: Vec::new(),
+        corpus_dir: None,
+        replay_dir: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -142,15 +169,65 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--profile-out needs a value")?;
                 opts.profile_out = Some(v.clone());
             }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.fuzz_seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                opts.fuzz_iters = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or_else(|| format!("invalid iteration count `{v}`"))?;
+            }
+            "--gpu" => {
+                let v = it.next().ok_or("--gpu needs a value")?;
+                let gen = match v.as_str() {
+                    "gt200" => Generation::Gt200,
+                    "fermi" => Generation::Fermi,
+                    "kepler" => Generation::Kepler,
+                    other => return Err(format!("unknown gpu `{other}`")),
+                };
+                if !opts.fuzz_gpus.contains(&gen) {
+                    opts.fuzz_gpus.push(gen);
+                }
+            }
+            "--corpus-dir" => {
+                let v = it.next().ok_or("--corpus-dir needs a value")?;
+                opts.corpus_dir = Some(v.clone());
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a value")?;
+                opts.replay_dir = Some(v.clone());
+            }
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            "profile" if opts.names.is_empty() && !opts.profile_mode => {
+            "profile" if opts.names.is_empty() && !opts.profile_mode && !opts.fuzz_mode => {
                 opts.profile_mode = true;
+            }
+            "fuzz" if opts.names.is_empty() && !opts.profile_mode && !opts.fuzz_mode => {
+                opts.fuzz_mode = true;
             }
             other => opts.names.push(other.to_owned()),
         }
+    }
+    if opts.fuzz_mode {
+        if !opts.names.is_empty() {
+            return Err(format!(
+                "fuzz takes no positional arguments (got {})",
+                opts.names.join(", ")
+            ));
+        }
+        if opts.fuzz_gpus.is_empty() {
+            opts.fuzz_gpus = vec![Generation::Fermi, Generation::Kepler];
+        }
+        return Ok(opts);
+    }
+    if opts.corpus_dir.is_some() || opts.replay_dir.is_some() {
+        return Err("--corpus-dir/--replay require the `fuzz` subcommand".to_owned());
     }
     if opts.profile_mode {
         let known: Vec<&str> = profiling::TARGETS.iter().map(|t| t.name).collect();
@@ -213,7 +290,11 @@ fn run_profiles(opts: &Options, report: &mut RunReport) -> u32 {
     for name in &opts.names {
         let span = PerfSpan::begin();
         let want_trace = opts.trace_out.is_some();
-        let outcome = profiling::run_target(name, want_trace).map_err(|e| e.to_string());
+        // Panic boundary: a crashing profile target becomes a failed
+        // entry in the report instead of tearing down the whole run.
+        let outcome = exec::run_isolated(|| {
+            profiling::run_target(name, want_trace).map_err(|e| e.to_string())
+        });
         match &outcome {
             Ok(out) => {
                 println!("{}", out.text);
@@ -253,6 +334,97 @@ fn run_profiles(opts: &Options, report: &mut RunReport) -> u32 {
     failures
 }
 
+/// Run the `fuzz` subcommand: a differential fuzz campaign (or a corpus
+/// replay with `--replay`), with minimized violations optionally written
+/// to `--corpus-dir` and a `peakperf-fuzz-v1` summary to `--json`.
+fn run_fuzz(opts: &Options) -> ExitCode {
+    if let Some(dir) = &opts.replay_dir {
+        let dir = std::path::Path::new(dir);
+        return match fault::replay_corpus(dir) {
+            Ok(entries) => {
+                let mut failures = 0u32;
+                for (path, violation) in &entries {
+                    match violation {
+                        None => println!("replay ok      {}", path.display()),
+                        Some(v) => {
+                            println!(
+                                "replay VIOLATION {} [{}] {}",
+                                path.display(),
+                                v.kind.name(),
+                                v.detail
+                            );
+                            failures += 1;
+                        }
+                    }
+                }
+                println!(
+                    "{} corpus case(s), {failures} still violating",
+                    entries.len()
+                );
+                if failures > 0 {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cfg = fault::CampaignConfig {
+        seed: opts.fuzz_seed,
+        iters: opts.fuzz_iters,
+        generations: opts.fuzz_gpus.clone(),
+    };
+    let t0 = Instant::now();
+    let result = fault::run_campaign(&cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("{}", fault::render_campaign(&cfg, &result));
+    eprintln!(
+        "[fuzz {} mutants in {:.1} ms, {} workers]",
+        result.cases,
+        wall_ms,
+        exec::default_workers()
+    );
+
+    let mut failures = u32::try_from(result.violations.len()).unwrap_or(u32::MAX);
+    if let Some(dir) = &opts.corpus_dir {
+        let dir = std::path::Path::new(dir);
+        for vc in &result.violations {
+            match fault::write_corpus_case(dir, vc) {
+                Ok(path) => eprintln!("[minimized case written to {}]", path.display()),
+                Err(e) => {
+                    eprintln!("error: could not write corpus case: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    } else if !result.violations.is_empty() {
+        eprintln!("[re-run with --corpus-dir <path> to save minimized cases]");
+    }
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = std::fs::write(path, fault::campaign_json(&cfg, &result, wall_ms)) {
+            eprintln!("error: could not write JSON report to {path}: {e}");
+            failures += 1;
+        }
+    }
+    if result.tally.harness_errors > 0 {
+        eprintln!(
+            "error: {} harness-level failure(s) during the campaign",
+            result.tally.harness_errors
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -264,6 +436,9 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if opts.fuzz_mode {
+        return run_fuzz(&opts);
+    }
     if opts.names.is_empty() {
         return usage();
     }
@@ -298,7 +473,9 @@ fn main() -> ExitCode {
     }
     for name in &opts.names {
         let span = PerfSpan::begin();
-        let outcome = run_one(name, opts.speed);
+        // Panic boundary: a crashing experiment renders as FAILED (text
+        // and --json) and flips the exit code, but the rest still run.
+        let outcome = exec::run_isolated(|| run_one(name, opts.speed));
         match &outcome {
             Ok(out) => println!("{out}"),
             Err(e) => {

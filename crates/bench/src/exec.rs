@@ -200,6 +200,34 @@ impl Executor {
 /// reuse the fallible path.
 enum Never {}
 
+/// Extract a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `f` under a panic-to-error boundary: a panic inside the closure
+/// becomes an `Err` with the panic message instead of unwinding through the
+/// harness and tearing down the whole run.
+///
+/// This is the graceful-degradation seam for one experiment (or one fuzz
+/// mutant): [`Executor::map`] still *propagates* panics by design (its jobs
+/// are trusted harness code), so the boundary sits around the whole
+/// experiment invocation, catching panics from any layer beneath it.
+///
+/// # Errors
+///
+/// Returns `Err` when `f` returns `Err` or panics.
+pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .unwrap_or_else(|payload| Err(format!("panic: {}", panic_message(payload.as_ref()))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +300,19 @@ mod tests {
             })
         });
         assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn run_isolated_turns_panics_into_errors() {
+        let ok = run_isolated(|| Ok::<_, String>(7));
+        assert_eq!(ok, Ok(7));
+        let err = run_isolated(|| -> Result<u32, String> { Err("plain failure".into()) });
+        assert_eq!(err, Err("plain failure".to_owned()));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = run_isolated(|| -> Result<u32, String> { panic!("boom {}", 42) });
+        std::panic::set_hook(hook);
+        assert_eq!(caught, Err("panic: boom 42".to_owned()));
     }
 
     #[test]

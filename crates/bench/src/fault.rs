@@ -1,0 +1,1511 @@
+//! Fault injection and differential fuzzing for the SASS → simulator
+//! pipeline.
+//!
+//! The reproduction rests on two independent executions of every kernel:
+//! the functional model ([`peakperf_sim::Gpu`]) and the cycle-level timing
+//! model ([`TimingSim`]). This module perturbs *known-good* kernels — the
+//! Table-2 throughput microbenchmarks and the SGEMM presets — with seeded,
+//! reproducible corruptions and drives every mutant through
+//! parse → validate → encode → functional sim → timing sim under a
+//! panic-to-error boundary and watchdog budgets.
+//!
+//! The oracle accepts a mutant when:
+//!
+//! * the validator rejects it with a structured error on both models, or
+//! * both models complete and agree on the coarse outcome class
+//!   (ok / reject / fault), and the traced timing run is identical to the
+//!   untraced one, and
+//! * a kernel the validator *accepts* encodes and decodes back to itself.
+//!
+//! Anything else — a panic anywhere in the pipeline, a functional/timing
+//! disagreement, a tracer that changes timing, a validated kernel that
+//! fails to round-trip — is a violation. Violations are greedily
+//! minimized by instruction removal and written to a replayable corpus
+//! (`tests/fault_corpus/`), which a regression test replays on every run.
+//!
+//! Everything is deterministic: a campaign is fully described by one
+//! `u64` seed, and each mutant by `(generation, seed kernel, mutation
+//! seed)` — there is no wall-clock or global state in the mutation path.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use peakperf_arch::{Generation, GpuConfig};
+use peakperf_kernels::microbench::math::{build_math_kernel, table2_patterns};
+use peakperf_kernels::rng::Rng;
+use peakperf_kernels::sgemm::{build_preset, upload_problem, Preset, SgemmProblem, Variant};
+use peakperf_sass::{validate_kernel, CtlInfo, Instruction, Kernel, Module, Op, Operand, Reg};
+use peakperf_sim::timing::{TimingSim, TraceEvent, TraceSink};
+use peakperf_sim::{GlobalMemory, Gpu, LaunchConfig, SimError};
+
+use crate::exec::{panic_message, run_isolated, Executor};
+use crate::perf::{json_f64, json_string};
+use crate::report::Table;
+
+/// Functional-model step budget per mutant (mutants routinely turn loop
+/// bounds into near-infinite counters; the watchdog keeps them cheap).
+pub const FUZZ_STEP_LIMIT: u64 = 2_000_000;
+
+/// Timing-model cycle budget per mutant.
+pub const FUZZ_CYCLE_LIMIT: u64 = 400_000;
+
+/// Matrix size for the SGEMM seed kernels: one 96×96 block, so the
+/// functional model (whole grid) and the timing model (resident wave)
+/// simulate exactly the same work.
+const SGEMM_SIZE: u32 = 96;
+
+/// Deterministic seed for the SGEMM input matrices.
+const UPLOAD_SEED: u64 = 0xF00D;
+
+/// The GPU model a generation is fuzzed on.
+pub fn gpu_config_for(generation: Generation) -> GpuConfig {
+    match generation {
+        Generation::Gt200 => GpuConfig::gtx280(),
+        Generation::Fermi => GpuConfig::gtx580(),
+        Generation::Kepler => GpuConfig::gtx680(),
+    }
+}
+
+fn generation_name(g: Generation) -> &'static str {
+    match g {
+        Generation::Gt200 => "gt200",
+        Generation::Fermi => "fermi",
+        Generation::Kepler => "kepler",
+    }
+}
+
+fn parse_generation(s: &str) -> Option<Generation> {
+    match s {
+        "gt200" => Some(Generation::Gt200),
+        "fermi" => Some(Generation::Fermi),
+        "kepler" => Some(Generation::Kepler),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seed kernels
+// ---------------------------------------------------------------------------
+
+/// A known-good kernel the fuzzer perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedSpec {
+    /// Table-2 throughput microbenchmark (pattern index).
+    Table2(usize),
+    /// SGEMM `AsmOpt` preset for one transpose variant.
+    Sgemm(Variant),
+}
+
+/// A built seed: the kernel plus everything needed to launch it.
+#[derive(Debug, Clone)]
+pub struct SeedCase {
+    /// The kernel before mutation.
+    pub kernel: Kernel,
+    /// Launch shape (always a single block, see [`SGEMM_SIZE`]).
+    pub config: LaunchConfig,
+    /// SGEMM problem for parameter upload; `None` for parameterless seeds.
+    pub problem: Option<SgemmProblem>,
+}
+
+impl SeedSpec {
+    /// Every seed kernel the fuzzer draws from.
+    pub fn all() -> Vec<SeedSpec> {
+        let mut v: Vec<SeedSpec> = (0..table2_patterns().len()).map(SeedSpec::Table2).collect();
+        v.extend(Variant::ALL.iter().copied().map(SeedSpec::Sgemm));
+        v
+    }
+
+    /// Stable identifier (`table2:07`, `sgemm:nt`) used in corpus files.
+    pub fn id(self) -> String {
+        match self {
+            SeedSpec::Table2(i) => format!("table2:{i:02}"),
+            SeedSpec::Sgemm(v) => format!("sgemm:{}", v.name().to_lowercase()),
+        }
+    }
+
+    /// Inverse of [`SeedSpec::id`].
+    pub fn parse(s: &str) -> Option<SeedSpec> {
+        let (kind, rest) = s.split_once(':')?;
+        match kind {
+            "table2" => {
+                let i: usize = rest.parse().ok()?;
+                (i < table2_patterns().len()).then_some(SeedSpec::Table2(i))
+            }
+            "sgemm" => Variant::ALL
+                .iter()
+                .copied()
+                .find(|v| v.name().to_lowercase() == rest)
+                .map(SeedSpec::Sgemm),
+            _ => None,
+        }
+    }
+
+    /// Build the seed kernel for a generation.
+    ///
+    /// # Errors
+    ///
+    /// Seed kernels are expected to always build; an error here is a
+    /// harness bug and is reported as a string.
+    pub fn build(self, generation: Generation) -> Result<SeedCase, String> {
+        match self {
+            SeedSpec::Table2(i) => {
+                let patterns = table2_patterns();
+                let pattern = patterns
+                    .get(i)
+                    .ok_or_else(|| format!("table2 pattern {i} out of range"))?;
+                let kernel = build_math_kernel(generation, pattern, 16, 4)
+                    .map_err(|e| format!("table2:{i} failed to build: {e}"))?;
+                Ok(SeedCase {
+                    kernel,
+                    config: LaunchConfig::linear(1, 256),
+                    problem: None,
+                })
+            }
+            SeedSpec::Sgemm(variant) => {
+                let problem = SgemmProblem::square(variant, SGEMM_SIZE);
+                let build = build_preset(generation, &problem, Preset::AsmOpt)
+                    .map_err(|e| format!("sgemm {} failed to build: {e}", variant.name()))?;
+                Ok(SeedCase {
+                    kernel: build.kernel,
+                    config: build.config,
+                    problem: Some(build.problem),
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation engine
+// ---------------------------------------------------------------------------
+
+/// The corruption classes the mutation engine draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Replace a flexible operand with a random register, immediate
+    /// (sometimes outside the signed 20-bit encoding), or constant-bank
+    /// reference (sometimes misaligned or out of range).
+    OperandScramble,
+    /// Overwrite one register slot with a random index (including `RZ`).
+    RegScramble,
+    /// Flip a bit in one Kepler control word, or desynchronize the
+    /// control-word vector length from the instruction count.
+    CtlBitFlip,
+    /// Truncate the instruction stream at a random point.
+    StreamTruncate,
+    /// Retarget (or insert) a branch, sometimes past the end of the kernel.
+    BranchRetarget,
+    /// Insert, remove, or duplicate a `BAR.SYNC` without fixing up branch
+    /// targets — exercises divergent-barrier and barrier-deadlock paths.
+    BarrierMutate,
+    /// Perturb the static shared-memory declaration (zero, doubled,
+    /// misaligned, or past the per-block limit).
+    SharedSizePerturb,
+    /// Perturb an immediate field: `MOV32I` payloads, memory offsets,
+    /// `LDC` bank/offset, `ISCADD` shift amounts.
+    ImmPerturb,
+}
+
+impl MutationKind {
+    /// All mutation classes, in drawing order.
+    pub const ALL: [MutationKind; 8] = [
+        MutationKind::OperandScramble,
+        MutationKind::RegScramble,
+        MutationKind::CtlBitFlip,
+        MutationKind::StreamTruncate,
+        MutationKind::BranchRetarget,
+        MutationKind::BarrierMutate,
+        MutationKind::SharedSizePerturb,
+        MutationKind::ImmPerturb,
+    ];
+
+    /// Stable kebab-case name used in reports and corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::OperandScramble => "operand-scramble",
+            MutationKind::RegScramble => "reg-scramble",
+            MutationKind::CtlBitFlip => "ctl-bit-flip",
+            MutationKind::StreamTruncate => "stream-truncate",
+            MutationKind::BranchRetarget => "branch-retarget",
+            MutationKind::BarrierMutate => "barrier-mutate",
+            MutationKind::SharedSizePerturb => "shared-size-perturb",
+            MutationKind::ImmPerturb => "imm-perturb",
+        }
+    }
+}
+
+/// Mutable references to every `Reg`-typed field of an operation
+/// (registers *inside* flexible operands are reached via [`operand_mut`]).
+fn regs_mut(op: &mut Op) -> Vec<&mut Reg> {
+    match op {
+        Op::Nop | Op::Exit | Op::Bar | Op::Bra { .. } => vec![],
+        Op::Mov { dst, .. } | Op::Mov32i { dst, .. } | Op::S2r { dst, .. } => vec![dst],
+        Op::Fadd { dst, a, .. }
+        | Op::Fmul { dst, a, .. }
+        | Op::Iadd { dst, a, .. }
+        | Op::Imul { dst, a, .. }
+        | Op::Iscadd { dst, a, .. }
+        | Op::Shl { dst, a, .. }
+        | Op::Shr { dst, a, .. }
+        | Op::Lop { dst, a, .. } => vec![dst, a],
+        Op::Ffma { dst, a, c, .. } | Op::Imad { dst, a, c, .. } => vec![dst, a, c],
+        Op::Isetp { a, .. } => vec![a],
+        Op::Ld { dst, addr, .. } => vec![dst, addr],
+        Op::St { src, addr, .. } => vec![src, addr],
+        Op::Ldc { dst, .. } => vec![dst],
+    }
+}
+
+/// Mutable reference to the flexible operand of an operation, if it has one.
+fn operand_mut(op: &mut Op) -> Option<&mut Operand> {
+    match op {
+        Op::Mov { src, .. } => Some(src),
+        Op::Fadd { b, .. }
+        | Op::Fmul { b, .. }
+        | Op::Ffma { b, .. }
+        | Op::Iadd { b, .. }
+        | Op::Imul { b, .. }
+        | Op::Imad { b, .. }
+        | Op::Iscadd { b, .. }
+        | Op::Shl { b, .. }
+        | Op::Shr { b, .. }
+        | Op::Lop { b, .. }
+        | Op::Isetp { b, .. } => Some(b),
+        _ => None,
+    }
+}
+
+/// Indices of instructions satisfying `pred` (operating on a scratch copy
+/// of the op so the scan never borrows the kernel mutably).
+fn matching_indices(kernel: &Kernel, pred: impl Fn(&mut Op) -> bool) -> Vec<usize> {
+    kernel
+        .code
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| {
+            let mut op = inst.op;
+            pred(&mut op)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn pick<T: Copy>(items: &[T], rng: &mut Rng) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[rng.gen_range_usize(0, items.len())])
+    }
+}
+
+/// Insert `inst` at `index`, randomly deciding whether to keep a Kepler
+/// control vector in sync (leaving it desynchronized is itself an
+/// interesting mutant: the validator must reject it).
+fn insert_instruction(kernel: &mut Kernel, index: usize, inst: Instruction, rng: &mut Rng) {
+    kernel.code.insert(index, inst);
+    if let Some(ctl) = kernel.ctl.as_mut() {
+        if rng.gen_bool() && index <= ctl.len() {
+            ctl.insert(index, CtlInfo::NONE);
+        }
+    }
+}
+
+/// Apply one mutation of class `kind`; returns `false` when the class does
+/// not apply to this kernel (e.g. no control words on Fermi).
+fn try_apply(kernel: &mut Kernel, kind: MutationKind, rng: &mut Rng) -> bool {
+    match kind {
+        MutationKind::OperandScramble => {
+            let targets = matching_indices(kernel, |op| operand_mut(op).is_some());
+            let Some(i) = pick(&targets, rng) else {
+                return false;
+            };
+            let replacement = match rng.gen_below(3) {
+                0 => Operand::Reg(Reg::r(rng.gen_below(64) as u8)),
+                // Sometimes outside the signed 20-bit immediate range.
+                1 => Operand::Imm(rng.gen_range_i64(-(1 << 21), 1 << 21) as i32),
+                // Sometimes bank > 15, misaligned, or past 0xFFFC.
+                _ => Operand::Const {
+                    bank: rng.gen_below(19) as u8,
+                    offset: rng.gen_below(0x1_0010) as u32,
+                },
+            };
+            if let Some(operand) = operand_mut(&mut kernel.code[i].op) {
+                *operand = replacement;
+            }
+            true
+        }
+        MutationKind::RegScramble => {
+            let targets = matching_indices(kernel, |op| !regs_mut(op).is_empty());
+            let Some(i) = pick(&targets, rng) else {
+                return false;
+            };
+            let mut slots = regs_mut(&mut kernel.code[i].op);
+            let s = rng.gen_range_usize(0, slots.len());
+            *slots[s] = Reg::r(rng.gen_below(64) as u8);
+            true
+        }
+        MutationKind::CtlBitFlip => {
+            let Some(ctl) = kernel.ctl.as_mut() else {
+                return false;
+            };
+            if ctl.is_empty() {
+                return false;
+            }
+            match rng.gen_below(4) {
+                0 | 1 => {
+                    // Bits 0..=5 are all meaningful (only 0xC0 is
+                    // reserved), so every single-bit flip stays decodable.
+                    let i = rng.gen_range_usize(0, ctl.len());
+                    let byte = ctl[i].to_byte() ^ (1 << rng.gen_below(6));
+                    match CtlInfo::from_byte(byte) {
+                        Ok(c) => {
+                            ctl[i] = c;
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                }
+                2 => {
+                    ctl.pop();
+                    true
+                }
+                _ => {
+                    let i = rng.gen_range_usize(0, ctl.len());
+                    let dup = ctl[i];
+                    ctl.push(dup);
+                    true
+                }
+            }
+        }
+        MutationKind::StreamTruncate => {
+            if kernel.code.is_empty() {
+                return false;
+            }
+            let keep = rng.gen_range_usize(0, kernel.code.len());
+            kernel.code.truncate(keep);
+            if let Some(ctl) = kernel.ctl.as_mut() {
+                if rng.gen_bool() {
+                    ctl.truncate(keep);
+                }
+            }
+            true
+        }
+        MutationKind::BranchRetarget => {
+            let target = rng.gen_below(kernel.code.len() as u64 + 4) as u32;
+            let bras = matching_indices(kernel, |op| matches!(op, Op::Bra { .. }));
+            if let Some(i) = pick(&bras, rng) {
+                kernel.code[i].op = Op::Bra { target };
+            } else {
+                let at = rng.gen_range_usize(0, kernel.code.len() + 1);
+                insert_instruction(kernel, at, Instruction::new(Op::Bra { target }), rng);
+            }
+            true
+        }
+        MutationKind::BarrierMutate => {
+            let bars = matching_indices(kernel, |op| matches!(op, Op::Bar));
+            match rng.gen_below(3) {
+                0 => {
+                    let at = rng.gen_range_usize(0, kernel.code.len() + 1);
+                    insert_instruction(kernel, at, Instruction::new(Op::Bar), rng);
+                    true
+                }
+                1 => {
+                    let Some(i) = pick(&bars, rng) else {
+                        return false;
+                    };
+                    remove_instruction(kernel, i);
+                    true
+                }
+                _ => {
+                    let Some(i) = pick(&bars, rng) else {
+                        return false;
+                    };
+                    insert_instruction(kernel, i, Instruction::new(Op::Bar), rng);
+                    true
+                }
+            }
+        }
+        MutationKind::SharedSizePerturb => {
+            let cur = kernel.shared_bytes;
+            kernel.shared_bytes = match rng.gen_below(7) {
+                0 => 0,
+                1 => cur / 2,
+                2 => cur.saturating_add(4),
+                3 => cur.saturating_mul(2),
+                4 => 48 * 1024,
+                5 => 48 * 1024 + 4,
+                _ => rng.gen_below(128 * 1024) as u32,
+            };
+            true
+        }
+        MutationKind::ImmPerturb => {
+            let targets = matching_indices(kernel, |op| {
+                matches!(
+                    op,
+                    Op::Mov32i { .. }
+                        | Op::Ld { .. }
+                        | Op::St { .. }
+                        | Op::Ldc { .. }
+                        | Op::Iscadd { .. }
+                )
+            });
+            let Some(i) = pick(&targets, rng) else {
+                return false;
+            };
+            match &mut kernel.code[i].op {
+                Op::Mov32i { imm, .. } => {
+                    *imm = if rng.gen_bool() {
+                        *imm ^ (1 << rng.gen_below(32))
+                    } else {
+                        rng.next_u32()
+                    };
+                }
+                Op::Ld { offset, .. } | Op::St { offset, .. } => {
+                    *offset = rng.gen_range_i64(-(1 << 24), 1 << 24) as i32;
+                }
+                Op::Ldc { bank, offset, .. } => {
+                    if rng.gen_bool() {
+                        *bank = rng.gen_below(20) as u8;
+                    } else {
+                        *offset = rng.gen_below(0x2_0000) as u32;
+                    }
+                }
+                Op::Iscadd { shift, .. } => {
+                    *shift = rng.gen_below(64) as u8;
+                }
+                _ => return false,
+            }
+            true
+        }
+    }
+}
+
+/// Apply one random mutation, retrying inapplicable classes; falls back to
+/// [`MutationKind::SharedSizePerturb`] (always applicable) so the loop
+/// terminates even on a degenerate kernel.
+pub fn mutate(kernel: &mut Kernel, rng: &mut Rng) -> MutationKind {
+    for _ in 0..16 {
+        let kind = MutationKind::ALL[rng.gen_range_usize(0, MutationKind::ALL.len())];
+        if try_apply(kernel, kind, rng) {
+            return kind;
+        }
+    }
+    let fallback = MutationKind::SharedSizePerturb;
+    try_apply(kernel, fallback, rng);
+    fallback
+}
+
+/// Remove instruction `i`, keeping the control vector in sync and
+/// decrementing branch targets past the removal point (a branch *to* the
+/// removed instruction now lands on its successor).
+pub fn remove_instruction(kernel: &mut Kernel, i: usize) {
+    if i >= kernel.code.len() {
+        return;
+    }
+    kernel.code.remove(i);
+    if let Some(ctl) = kernel.ctl.as_mut() {
+        if i < ctl.len() {
+            ctl.remove(i);
+        }
+    }
+    for inst in &mut kernel.code {
+        if let Op::Bra { target } = &mut inst.op {
+            if *target > i as u32 {
+                *target -= 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential pipeline
+// ---------------------------------------------------------------------------
+
+/// One fully-specified fuzz input: rebuilding the seed and replaying the
+/// mutation stream from `mutation_seed` reproduces the exact mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Target generation (selects validator rules and the GPU model).
+    pub generation: Generation,
+    /// The seed kernel being perturbed.
+    pub seed: SeedSpec,
+    /// Seed for the mutation RNG.
+    pub mutation_seed: u64,
+}
+
+/// What one engine did with a mutant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed (`cycles` is 0 for the functional model).
+    Ok {
+        /// Timing-model cycle count.
+        cycles: u64,
+    },
+    /// Structured rejection before execution (validator or launch check).
+    Reject(String),
+    /// Structured runtime fault (coarse class).
+    Fault(&'static str),
+    /// Watchdog budget exhausted.
+    Timeout,
+    /// The engine panicked — always a violation.
+    Panic(String),
+}
+
+impl Outcome {
+    /// Coarse class used for cross-model agreement.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Outcome::Ok { .. } => "ok",
+            Outcome::Reject(_) => "reject",
+            Outcome::Fault(_) => "fault",
+            Outcome::Timeout => "timeout",
+            Outcome::Panic(_) => "panic",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Ok { cycles } => write!(f, "ok(cycles={cycles})"),
+            Outcome::Reject(m) => write!(f, "reject({m})"),
+            Outcome::Fault(c) => write!(f, "fault({c})"),
+            Outcome::Timeout => f.write_str("timeout"),
+            Outcome::Panic(m) => write!(f, "panic({m})"),
+        }
+    }
+}
+
+/// Why a mutant violated the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Some engine panicked instead of returning a structured error.
+    Panic,
+    /// Functional and timing models disagree on the outcome class.
+    FuncTimingDisagree,
+    /// Traced and untraced timing runs differ (the tracer must be a pure
+    /// observer).
+    TraceDivergence,
+    /// A validator-accepted kernel failed to encode/decode back to itself.
+    RoundTrip,
+}
+
+impl ViolationKind {
+    /// Stable kebab-case name used in reports and corpus files.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::Panic => "panic",
+            ViolationKind::FuncTimingDisagree => "func-timing-disagree",
+            ViolationKind::TraceDivergence => "trace-divergence",
+            ViolationKind::RoundTrip => "round-trip",
+        }
+    }
+
+    /// Inverse of [`ViolationKind::name`].
+    pub fn parse(s: &str) -> Option<ViolationKind> {
+        match s {
+            "panic" => Some(ViolationKind::Panic),
+            "func-timing-disagree" => Some(ViolationKind::FuncTimingDisagree),
+            "trace-divergence" => Some(ViolationKind::TraceDivergence),
+            "round-trip" => Some(ViolationKind::RoundTrip),
+            _ => None,
+        }
+    }
+}
+
+/// An oracle violation with human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The oracle rule that failed.
+    pub kind: ViolationKind,
+    /// What the engines actually did.
+    pub detail: String,
+}
+
+/// The full differential result for one mutant.
+#[derive(Debug, Clone)]
+pub struct MutantReport {
+    /// The input that produced this mutant.
+    pub case: FuzzCase,
+    /// The mutation classes that were applied, in order.
+    pub kinds: Vec<MutationKind>,
+    /// Functional-model outcome.
+    pub func: Outcome,
+    /// Untraced timing-model outcome.
+    pub timing: Outcome,
+    /// Traced timing-model outcome (must equal `timing`).
+    pub traced: Outcome,
+    /// The oracle's verdict; `None` means the mutant is accepted.
+    pub violation: Option<Violation>,
+}
+
+/// A trace sink that only counts events: forces the traced code path
+/// (`ENABLED = true`) with bounded memory, unlike a recording buffer.
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Events observed.
+    pub events: u64,
+}
+
+impl TraceSink for CountSink {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, _event: TraceEvent) {
+        self.events += 1;
+    }
+}
+
+/// Map a simulation result onto the fuzzer's outcome classes.
+fn classify(result: Result<u64, SimError>) -> Outcome {
+    match result {
+        Ok(cycles) => Outcome::Ok { cycles },
+        Err(SimError::Invalid { message }) | Err(SimError::Launch { message }) => {
+            Outcome::Reject(message)
+        }
+        Err(SimError::OutOfBounds { .. }) => Outcome::Fault("out_of_bounds"),
+        Err(SimError::Misaligned { .. }) => Outcome::Fault("misaligned"),
+        Err(SimError::DivergentBarrier { .. }) => Outcome::Fault("divergent_barrier"),
+        Err(SimError::BarrierDeadlock { .. }) => Outcome::Fault("barrier_deadlock"),
+        Err(SimError::RanOffEnd) => Outcome::Fault("ran_off_end"),
+        Err(SimError::StepLimit { .. }) => Outcome::Timeout,
+    }
+}
+
+/// Run one engine under the panic-to-error boundary.
+fn engine(f: impl FnOnce() -> Result<u64, SimError>) -> Outcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => classify(result),
+        Err(payload) => Outcome::Panic(panic_message(payload.as_ref())),
+    }
+}
+
+fn launch_params(
+    memory: &mut GlobalMemory,
+    problem: Option<&SgemmProblem>,
+) -> Result<Vec<u32>, SimError> {
+    match problem {
+        Some(p) => {
+            let (a, b, c) = upload_problem(memory, p, UPLOAD_SEED)?;
+            Ok(vec![a, b, c, 1.0f32.to_bits(), 0.0f32.to_bits()])
+        }
+        None => Ok(Vec::new()),
+    }
+}
+
+fn run_func(
+    kernel: &Kernel,
+    config: LaunchConfig,
+    problem: Option<&SgemmProblem>,
+    generation: Generation,
+) -> Result<u64, SimError> {
+    let mut gpu = Gpu::new(generation);
+    gpu.set_step_limit(FUZZ_STEP_LIMIT);
+    let params = launch_params(gpu.memory_mut(), problem)?;
+    gpu.launch(kernel, config, &params)?;
+    Ok(0)
+}
+
+fn run_timing(
+    kernel: &Kernel,
+    config: LaunchConfig,
+    problem: Option<&SgemmProblem>,
+    gpu: &GpuConfig,
+    traced: bool,
+) -> Result<u64, SimError> {
+    let mut memory = GlobalMemory::new();
+    let params = launch_params(&mut memory, problem)?;
+    let mut sim = TimingSim::new(gpu, kernel, config, &params, 1)?;
+    sim.set_cycle_limit(FUZZ_CYCLE_LIMIT);
+    let report = if traced {
+        let mut sink = CountSink::default();
+        sim.run_traced(&mut memory, &mut sink)?
+    } else {
+        sim.run(&mut memory)?
+    };
+    Ok(report.cycles)
+}
+
+/// The round-trip oracle: a kernel the validator accepts must survive
+/// `Module` serialization bit-exactly. (Kernels the validator rejects are
+/// exempt — the encoder is allowed to reject them too.)
+fn round_trip_violation(kernel: &Kernel, generation: Generation) -> Option<String> {
+    if validate_kernel(kernel, generation).is_err() {
+        return None;
+    }
+    let module = Module {
+        generation,
+        kernels: vec![kernel.clone()],
+    };
+    let bytes = match module.to_bytes() {
+        Ok(b) => b,
+        Err(e) => return Some(format!("validated kernel failed to encode: {e}")),
+    };
+    match Module::from_bytes(&bytes) {
+        Ok(back) if back.kernels.len() == 1 && back.kernels[0] == *kernel => None,
+        Ok(_) => Some("decode(encode(kernel)) differs from the kernel".to_owned()),
+        Err(e) => Some(format!("validated kernel failed to decode: {e}")),
+    }
+}
+
+/// The three-way oracle over one mutant's engine outcomes.
+fn judge(func: &Outcome, timing: &Outcome, traced: &Outcome) -> Option<Violation> {
+    for (name, outcome) in [("func", func), ("timing", timing), ("traced", traced)] {
+        if let Outcome::Panic(msg) = outcome {
+            return Some(Violation {
+                kind: ViolationKind::Panic,
+                detail: format!("{name}: {msg}"),
+            });
+        }
+    }
+    // The tracer is a pure observer of a deterministic engine, so the
+    // traced run must match the untraced one exactly — including cycles.
+    if traced != timing {
+        return Some(Violation {
+            kind: ViolationKind::TraceDivergence,
+            detail: format!("timing={timing} traced={traced}"),
+        });
+    }
+    // A timeout on either side makes the comparison inconclusive: the two
+    // models spend their budgets differently (steps vs cycles).
+    if matches!(func, Outcome::Timeout) || matches!(timing, Outcome::Timeout) {
+        return None;
+    }
+    // Coarse-class agreement: fault *subclasses* may differ (the models
+    // schedule warps differently, so a mutant with several latent faults
+    // may trip them in a different order), but ok/reject/fault must match.
+    if func.class() != timing.class() {
+        return Some(Violation {
+            kind: ViolationKind::FuncTimingDisagree,
+            detail: format!("func={func} timing={timing}"),
+        });
+    }
+    None
+}
+
+/// Rebuild a case's mutant kernel: seed build, mutation replay, then the
+/// recorded shrinker removals (applied in recording order).
+///
+/// # Errors
+///
+/// Reports seed-build failures (harness bugs) as strings.
+pub fn mutant_kernel(
+    case: &FuzzCase,
+    removals: &[usize],
+) -> Result<(SeedCase, Kernel, Vec<MutationKind>), String> {
+    let seed = case.seed.build(case.generation)?;
+    let mut kernel = seed.kernel.clone();
+    let mut rng = Rng::seed_from_u64(case.mutation_seed);
+    let count = 1 + rng.gen_below(3) as usize;
+    let mut kinds = Vec::with_capacity(count);
+    for _ in 0..count {
+        kinds.push(mutate(&mut kernel, &mut rng));
+    }
+    for &i in removals {
+        remove_instruction(&mut kernel, i);
+    }
+    Ok((seed, kernel, kinds))
+}
+
+/// Drive one mutant through every engine and the oracle.
+///
+/// # Errors
+///
+/// Reports seed-build failures (harness bugs) as strings; mutant
+/// misbehavior is never an `Err` — it lands in the report.
+pub fn run_case_with(case: &FuzzCase, removals: &[usize]) -> Result<MutantReport, String> {
+    let (seed, kernel, kinds) = mutant_kernel(case, removals)?;
+    let problem = seed.problem.as_ref();
+    let func = engine(|| run_func(&kernel, seed.config, problem, case.generation));
+    let gpu = gpu_config_for(case.generation);
+    let timing = engine(|| run_timing(&kernel, seed.config, problem, &gpu, false));
+    let traced = engine(|| run_timing(&kernel, seed.config, problem, &gpu, true));
+    // The round-trip oracle calls into the validator/encoder on an
+    // arbitrary mutant, so it gets the same panic boundary as the
+    // engines: a panicking toolchain is itself a reportable violation,
+    // not a harness crash.
+    let round_trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        round_trip_violation(&kernel, case.generation)
+    }));
+    let mut violation = match round_trip {
+        Ok(detail) => detail.map(|detail| Violation {
+            kind: ViolationKind::RoundTrip,
+            detail,
+        }),
+        Err(payload) => Some(Violation {
+            kind: ViolationKind::Panic,
+            detail: format!("round-trip oracle: {}", panic_message(payload.as_ref())),
+        }),
+    };
+    if violation.is_none() {
+        violation = judge(&func, &timing, &traced);
+    }
+    Ok(MutantReport {
+        case: *case,
+        kinds,
+        func,
+        timing,
+        traced,
+        violation,
+    })
+}
+
+/// [`run_case_with`] without shrinker removals.
+///
+/// # Errors
+///
+/// Same as [`run_case_with`].
+pub fn run_case(case: &FuzzCase) -> Result<MutantReport, String> {
+    run_case_with(case, &[])
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------------
+
+/// Greedily minimize a violating mutant by instruction removal: a removal
+/// is kept iff the *same violation kind* persists. Returns the removal
+/// indices (to be replayed in order) and the final report.
+///
+/// The evaluation budget bounds total pipeline runs, so shrinking a large
+/// SGEMM mutant stays affordable.
+///
+/// # Errors
+///
+/// Reports seed-build failures as strings.
+pub fn shrink_case(case: &FuzzCase) -> Result<(Vec<usize>, MutantReport), String> {
+    let baseline = run_case(case)?;
+    let Some(kind) = baseline.violation.as_ref().map(|v| v.kind) else {
+        return Ok((Vec::new(), baseline));
+    };
+    let mut removed: Vec<usize> = Vec::new();
+    let mut best = baseline;
+    let mut budget = 600usize;
+    loop {
+        let mut progressed = false;
+        let (_, kernel, _) = mutant_kernel(case, &removed)?;
+        let mut len = kernel.code.len();
+        let mut i = 0;
+        while i < len && budget > 0 {
+            budget -= 1;
+            let mut attempt = removed.clone();
+            attempt.push(i);
+            if let Ok(report) = run_case_with(case, &attempt) {
+                if report.violation.as_ref().map(|v| v.kind) == Some(kind) {
+                    removed = attempt;
+                    best = report;
+                    len -= 1;
+                    progressed = true;
+                    continue; // the next instruction slid into slot i
+                }
+            }
+            i += 1;
+        }
+        if !progressed || budget == 0 {
+            break;
+        }
+    }
+    Ok((removed, best))
+}
+
+// ---------------------------------------------------------------------------
+// Corpus
+// ---------------------------------------------------------------------------
+
+/// A minimized violation ready for the corpus.
+#[derive(Debug, Clone)]
+pub struct ViolationCase {
+    /// The originating fuzz input.
+    pub case: FuzzCase,
+    /// The violation observed after shrinking.
+    pub violation: Violation,
+    /// Shrinker removals, in application order.
+    pub removed: Vec<usize>,
+}
+
+const CORPUS_HEADER: &str = "peakperf-fault-case v1";
+
+/// Render a violation case in the line-based corpus format.
+pub fn render_corpus_case(vc: &ViolationCase) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{CORPUS_HEADER}");
+    let _ = writeln!(out, "gen = {}", generation_name(vc.case.generation));
+    let _ = writeln!(out, "seed = {}", vc.case.seed.id());
+    let _ = writeln!(out, "mutation_seed = {}", vc.case.mutation_seed);
+    let _ = writeln!(out, "kind = {}", vc.violation.kind.name());
+    let _ = writeln!(out, "detail = {}", vc.violation.detail.replace('\n', " "));
+    if !vc.removed.is_empty() {
+        let list: Vec<String> = vc.removed.iter().map(usize::to_string).collect();
+        let _ = writeln!(out, "removed = {}", list.join(","));
+    }
+    out
+}
+
+/// Parse a corpus file back into `(case, removals, recorded kind)`.
+///
+/// # Errors
+///
+/// Reports malformed files as strings.
+pub fn parse_corpus_case(text: &str) -> Result<(FuzzCase, Vec<usize>, ViolationKind), String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    if lines.next().map(str::trim) != Some(CORPUS_HEADER) {
+        return Err(format!("missing `{CORPUS_HEADER}` header"));
+    }
+    let mut generation = None;
+    let mut seed = None;
+    let mut mutation_seed = None;
+    let mut kind = None;
+    let mut removed = Vec::new();
+    for line in lines {
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("malformed line `{line}`"));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match key {
+            "gen" => {
+                generation =
+                    Some(parse_generation(value).ok_or_else(|| format!("bad gen `{value}`"))?);
+            }
+            "seed" => {
+                seed = Some(SeedSpec::parse(value).ok_or_else(|| format!("bad seed `{value}`"))?);
+            }
+            "mutation_seed" => {
+                mutation_seed = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad mutation_seed `{value}`"))?,
+                );
+            }
+            "kind" => {
+                kind =
+                    Some(ViolationKind::parse(value).ok_or_else(|| format!("bad kind `{value}`"))?);
+            }
+            "removed" => {
+                removed = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| format!("bad removed list `{value}`"))?;
+            }
+            "detail" => {}
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    let case = FuzzCase {
+        generation: generation.ok_or("missing gen")?,
+        seed: seed.ok_or("missing seed")?,
+        mutation_seed: mutation_seed.ok_or("missing mutation_seed")?,
+    };
+    Ok((case, removed, kind.ok_or("missing kind")?))
+}
+
+/// File name for a corpus case (unique per case within a campaign).
+pub fn corpus_file_name(case: &FuzzCase) -> String {
+    format!(
+        "{}-{}-{:016x}.case",
+        generation_name(case.generation),
+        case.seed.id().replace(':', "-"),
+        case.mutation_seed
+    )
+}
+
+/// Write one minimized case into `dir` (created if needed).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_corpus_case(dir: &Path, vc: &ViolationCase) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(corpus_file_name(&vc.case));
+    std::fs::write(&path, render_corpus_case(vc))?;
+    Ok(path)
+}
+
+/// Replay every `.case` file under `dir`. Returns one entry per file:
+/// the path and the violation the replay produced (`None` = the pipeline
+/// now handles the case cleanly, which is what the regression test wants).
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures.
+pub fn replay_corpus(dir: &Path) -> Result<Vec<(PathBuf, Option<Violation>)>, String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    entries.sort();
+    let _quiet = silence_panics();
+    let mut out = Vec::with_capacity(entries.len());
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let (case, removed, _kind) =
+            parse_corpus_case(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = run_isolated(|| run_case_with(&case, &removed))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, report.violation));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------------
+
+/// Parameters of one fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Number of mutants.
+    pub iters: u64,
+    /// Generations to draw from (default: Fermi and Kepler).
+    pub generations: Vec<Generation>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 1,
+            iters: 500,
+            generations: vec![Generation::Fermi, Generation::Kepler],
+        }
+    }
+}
+
+/// Per-class outcome tallies (a mutant counts under its most severe
+/// engine outcome: panic > timeout > fault > reject > ok).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Mutants where every engine completed.
+    pub ok: u64,
+    /// Mutants rejected by validation/launch checks.
+    pub reject: u64,
+    /// Mutants stopped by a structured runtime fault.
+    pub fault: u64,
+    /// Mutants that exhausted a watchdog budget.
+    pub timeout: u64,
+    /// Mutants that panicked somewhere (always a violation too).
+    pub panic: u64,
+    /// Harness-level failures (seed build errors) — not mutant behavior.
+    pub harness_errors: u64,
+}
+
+impl Tally {
+    fn severity(class: &str) -> u8 {
+        match class {
+            "panic" => 4,
+            "timeout" => 3,
+            "fault" => 2,
+            "reject" => 1,
+            _ => 0,
+        }
+    }
+
+    fn count(&mut self, report: &MutantReport) {
+        let outcomes = [&report.func, &report.timing, &report.traced];
+        let class = outcomes
+            .iter()
+            .map(|o| o.class())
+            .max_by_key(|c| Tally::severity(c))
+            .unwrap_or("ok");
+        match class {
+            "panic" => self.panic += 1,
+            "timeout" => self.timeout += 1,
+            "fault" => self.fault += 1,
+            "reject" => self.reject += 1,
+            _ => self.ok += 1,
+        }
+    }
+}
+
+/// The result of a fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Mutants executed.
+    pub cases: u64,
+    /// Per-class outcome tallies.
+    pub tally: Tally,
+    /// Applications per mutation class, aligned with [`MutationKind::ALL`].
+    pub kind_counts: [u64; MutationKind::ALL.len()],
+    /// Minimized violations, in discovery order.
+    pub violations: Vec<ViolationCase>,
+}
+
+/// Serialize the panic-hook swap: campaigns suppress the default hook's
+/// stderr spew (mutant panics are expected and caught), and concurrent
+/// campaigns in one process must not clobber each other's saved hook.
+fn silence_panics() -> impl Drop {
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+    struct Quiet {
+        guard: Option<std::sync::MutexGuard<'static, ()>>,
+        previous: Option<PanicHook>,
+    }
+    impl Drop for Quiet {
+        fn drop(&mut self) {
+            if let Some(previous) = self.previous.take() {
+                std::panic::set_hook(previous);
+            }
+            drop(self.guard.take());
+        }
+    }
+
+    let guard = HOOK_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    Quiet {
+        guard: Some(guard),
+        previous: Some(previous),
+    }
+}
+
+/// Derive the deterministic case list for a campaign.
+pub fn campaign_cases(cfg: &CampaignConfig) -> Vec<FuzzCase> {
+    let specs = SeedSpec::all();
+    let mut master = Rng::seed_from_u64(cfg.seed);
+    (0..cfg.iters)
+        .map(|_| {
+            let mutation_seed = master.next_u64();
+            let seed = specs[master.gen_range_usize(0, specs.len())];
+            let generation = cfg.generations[master.gen_range_usize(0, cfg.generations.len())];
+            FuzzCase {
+                generation,
+                seed,
+                mutation_seed,
+            }
+        })
+        .collect()
+}
+
+/// Run a campaign: generate the case list, drive every mutant through the
+/// differential pipeline in parallel, and minimize every violation.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let cases = campaign_cases(cfg);
+    let _quiet = silence_panics();
+    let reports = Executor::auto().map(&cases, |case| run_isolated(|| run_case(case)));
+
+    let mut result = CampaignResult {
+        cases: cases.len() as u64,
+        tally: Tally::default(),
+        kind_counts: [0; MutationKind::ALL.len()],
+        violations: Vec::new(),
+    };
+    let mut to_shrink: Vec<FuzzCase> = Vec::new();
+    for report in reports.iter().flatten() {
+        result.tally.count(report);
+        for kind in &report.kinds {
+            if let Some(slot) = MutationKind::ALL.iter().position(|k| k == kind) {
+                result.kind_counts[slot] += 1;
+            }
+        }
+        if report.violation.is_some() {
+            to_shrink.push(report.case);
+        }
+    }
+    result.tally.harness_errors += reports.iter().filter(|r| r.is_err()).count() as u64;
+
+    // Minimize sequentially: violations are rare, and the shrinker itself
+    // fans out full pipeline runs.
+    for case in to_shrink {
+        match shrink_case(&case) {
+            Ok((removed, report)) => {
+                if let Some(violation) = report.violation {
+                    result.violations.push(ViolationCase {
+                        case,
+                        violation,
+                        removed,
+                    });
+                }
+            }
+            Err(_) => result.tally.harness_errors += 1,
+        }
+    }
+    result
+}
+
+/// Render a campaign summary as a text table plus violation listing.
+pub fn render_campaign(cfg: &CampaignConfig, result: &CampaignResult) -> String {
+    let gens: Vec<&str> = cfg
+        .generations
+        .iter()
+        .map(|&g| generation_name(g))
+        .collect();
+    let mut table = Table::new(
+        format!(
+            "Fuzz campaign: seed {}, {} mutants on {}",
+            cfg.seed,
+            result.cases,
+            gens.join("+")
+        ),
+        &["class", "mutants"],
+    );
+    let t = &result.tally;
+    for (name, count) in [
+        ("ok", t.ok),
+        ("reject", t.reject),
+        ("fault", t.fault),
+        ("timeout", t.timeout),
+        ("panic", t.panic),
+        ("harness-error", t.harness_errors),
+    ] {
+        table.row(vec![name.to_owned(), count.to_string()]);
+    }
+    let mut kinds = Table::new("Mutations applied", &["class", "count"]);
+    for (kind, count) in MutationKind::ALL.iter().zip(result.kind_counts) {
+        kinds.row(vec![kind.name().to_owned(), count.to_string()]);
+    }
+    let mut out = format!("{}\n{}", table.render(), kinds.render());
+    if result.violations.is_empty() {
+        out.push_str("\nNo oracle violations.\n");
+    } else {
+        let _ = writeln!(out, "\n{} oracle violation(s):", result.violations.len());
+        for vc in &result.violations {
+            let _ = writeln!(
+                out,
+                "  {} {} seed={} kind={} removed={} detail={}",
+                generation_name(vc.case.generation),
+                vc.case.seed.id(),
+                vc.case.mutation_seed,
+                vc.violation.kind.name(),
+                vc.removed.len(),
+                vc.violation.detail,
+            );
+        }
+    }
+    out
+}
+
+/// Render the machine-readable `peakperf-fuzz-v1` campaign summary.
+pub fn campaign_json(cfg: &CampaignConfig, result: &CampaignResult, wall_ms: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"format\": \"peakperf-fuzz-v1\",");
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"iters\": {},", cfg.iters);
+    let gens: Vec<String> = cfg
+        .generations
+        .iter()
+        .map(|&g| json_string(generation_name(g)))
+        .collect();
+    let _ = writeln!(out, "  \"generations\": [{}],", gens.join(", "));
+    let _ = writeln!(out, "  \"wall_ms\": {},", json_f64(wall_ms));
+    let t = &result.tally;
+    let _ = writeln!(
+        out,
+        "  \"outcomes\": {{\"ok\": {}, \"reject\": {}, \"fault\": {}, \
+         \"timeout\": {}, \"panic\": {}, \"harness_errors\": {}}},",
+        t.ok, t.reject, t.fault, t.timeout, t.panic, t.harness_errors
+    );
+    let kinds: Vec<String> = MutationKind::ALL
+        .iter()
+        .zip(result.kind_counts)
+        .map(|(kind, count)| format!("{}: {count}", json_string(kind.name())))
+        .collect();
+    let _ = writeln!(out, "  \"mutations\": {{{}}},", kinds.join(", "));
+    out.push_str("  \"violations\": [");
+    for (i, vc) in result.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let removed: Vec<String> = vc.removed.iter().map(usize::to_string).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"gen\": {}, \"seed\": {}, \"mutation_seed\": {}, \
+             \"kind\": {}, \"detail\": {}, \"removed\": [{}]}}",
+            json_string(generation_name(vc.case.generation)),
+            json_string(&vc.case.seed.id()),
+            vc.case.mutation_seed,
+            json_string(vc.violation.kind.name()),
+            json_string(&vc.violation.detail),
+            removed.join(", ")
+        );
+    }
+    if result.violations.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(seed: SeedSpec, generation: Generation, mutation_seed: u64) -> FuzzCase {
+        FuzzCase {
+            generation,
+            seed,
+            mutation_seed,
+        }
+    }
+
+    #[test]
+    fn seed_ids_round_trip() {
+        for spec in SeedSpec::all() {
+            assert_eq!(SeedSpec::parse(&spec.id()), Some(spec), "{}", spec.id());
+        }
+        assert_eq!(SeedSpec::parse("table2:99"), None);
+        assert_eq!(SeedSpec::parse("sgemm:xx"), None);
+        assert_eq!(SeedSpec::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let c = case(SeedSpec::Table2(3), Generation::Kepler, 0xDEADBEEF);
+        let (_, k1, kinds1) = mutant_kernel(&c, &[]).unwrap();
+        let (_, k2, kinds2) = mutant_kernel(&c, &[]).unwrap();
+        assert_eq!(kinds1, kinds2);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn mutants_differ_from_the_seed() {
+        // Across a handful of seeds at least one mutant must actually
+        // change the kernel (mutation that never mutates = broken engine).
+        let mut changed = 0;
+        for ms in 0..8u64 {
+            let c = case(SeedSpec::Table2(0), Generation::Fermi, ms);
+            let seed = c.seed.build(c.generation).unwrap();
+            let (_, mutant, _) = mutant_kernel(&c, &[]).unwrap();
+            if mutant != seed.kernel {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 6, "only {changed}/8 mutants changed the kernel");
+    }
+
+    #[test]
+    fn remove_instruction_fixes_branch_targets() {
+        let mut kernel = Kernel::new("t");
+        kernel.code = vec![
+            Instruction::new(Op::Nop),
+            Instruction::new(Op::Nop),
+            Instruction::new(Op::Bra { target: 1 }),
+            Instruction::new(Op::Bra { target: 3 }),
+            Instruction::new(Op::Exit),
+        ];
+        remove_instruction(&mut kernel, 1);
+        assert_eq!(kernel.code.len(), 4);
+        // A branch to the removed slot keeps its index (now the successor);
+        // branches past it shift down by one.
+        assert_eq!(kernel.code[1].op, Op::Bra { target: 1 });
+        assert_eq!(kernel.code[2].op, Op::Bra { target: 2 });
+    }
+
+    #[test]
+    fn corpus_format_round_trips() {
+        let vc = ViolationCase {
+            case: case(SeedSpec::Sgemm(Variant::ALL[1]), Generation::Fermi, 42),
+            violation: Violation {
+                kind: ViolationKind::TraceDivergence,
+                detail: "timing=ok(cycles=10) traced=ok(cycles=11)".to_owned(),
+            },
+            removed: vec![3, 0, 7],
+        };
+        let text = render_corpus_case(&vc);
+        let (parsed, removed, kind) = parse_corpus_case(&text).unwrap();
+        assert_eq!(parsed, vc.case);
+        assert_eq!(removed, vc.removed);
+        assert_eq!(kind, ViolationKind::TraceDivergence);
+        assert!(parse_corpus_case("not a corpus file").is_err());
+    }
+
+    #[test]
+    fn classify_maps_errors_to_classes() {
+        assert_eq!(classify(Ok(7)), Outcome::Ok { cycles: 7 });
+        assert_eq!(
+            classify(Err(SimError::RanOffEnd)),
+            Outcome::Fault("ran_off_end")
+        );
+        assert_eq!(
+            classify(Err(SimError::StepLimit {
+                limit: 1,
+                snapshot: None
+            })),
+            Outcome::Timeout
+        );
+        assert!(matches!(
+            classify(Err(SimError::Invalid {
+                message: "x".into()
+            })),
+            Outcome::Reject(_)
+        ));
+    }
+
+    #[test]
+    fn unmutated_table2_seed_runs_clean() {
+        for generation in [Generation::Fermi, Generation::Kepler] {
+            let seed = SeedSpec::Table2(0).build(generation).unwrap();
+            let func = engine(|| run_func(&seed.kernel, seed.config, None, generation));
+            let gpu = gpu_config_for(generation);
+            let timing = engine(|| run_timing(&seed.kernel, seed.config, None, &gpu, false));
+            let traced = engine(|| run_timing(&seed.kernel, seed.config, None, &gpu, true));
+            assert_eq!(func, Outcome::Ok { cycles: 0 });
+            assert!(matches!(timing, Outcome::Ok { .. }), "{timing}");
+            assert_eq!(traced, timing);
+            assert_eq!(judge(&func, &timing, &traced), None);
+            assert_eq!(round_trip_violation(&seed.kernel, generation), None);
+        }
+    }
+
+    #[test]
+    fn judge_flags_the_three_violation_kinds() {
+        let ok = Outcome::Ok { cycles: 5 };
+        let fault = Outcome::Fault("out_of_bounds");
+        let panic = Outcome::Panic("boom".into());
+        assert_eq!(
+            judge(&ok, &ok, &ok).map(|v| v.kind),
+            None,
+            "agreement is clean"
+        );
+        assert_eq!(
+            judge(&panic, &ok, &ok).map(|v| v.kind),
+            Some(ViolationKind::Panic)
+        );
+        assert_eq!(
+            judge(&ok, &ok, &Outcome::Ok { cycles: 6 }).map(|v| v.kind),
+            Some(ViolationKind::TraceDivergence)
+        );
+        assert_eq!(
+            judge(&ok, &fault, &fault).map(|v| v.kind),
+            Some(ViolationKind::FuncTimingDisagree)
+        );
+        // Timeouts are inconclusive, and fault subclasses may differ.
+        assert_eq!(judge(&Outcome::Timeout, &ok, &ok), None);
+        assert_eq!(
+            judge(&Outcome::Fault("misaligned"), &fault, &fault),
+            None,
+            "coarse fault agreement is enough"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_json_renders() {
+        let cfg = CampaignConfig {
+            seed: 7,
+            iters: 6,
+            generations: vec![Generation::Fermi, Generation::Kepler],
+        };
+        let a = campaign_cases(&cfg);
+        let b = campaign_cases(&cfg);
+        assert_eq!(a, b);
+        let result = run_campaign(&cfg);
+        assert_eq!(result.cases, 6);
+        assert_eq!(result.tally.panic, 0, "mutants must never panic");
+        let json = campaign_json(&cfg, &result, 12.0);
+        assert!(json.contains("\"format\": \"peakperf-fuzz-v1\""));
+        assert!(json.contains("\"outcomes\""));
+        let text = render_campaign(&cfg, &result);
+        assert!(text.contains("Fuzz campaign"));
+    }
+}

@@ -8,6 +8,7 @@
 
 pub mod exec;
 pub mod experiments;
+pub mod fault;
 pub mod harness;
 pub mod perf;
 pub mod profiling;

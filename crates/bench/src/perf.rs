@@ -225,7 +225,7 @@ fn counters_json(c: &Counters, indent: &str) -> String {
 
 /// A JSON number: finite floats print with enough precision to round-trip;
 /// non-finite values (not expected) degrade to null.
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
     } else {
@@ -234,7 +234,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Escape a string per RFC 8259.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -135,3 +135,45 @@ fn profile_rejects_unknown_targets_and_misplaced_flags() {
     let out = reproduce(&["table1", "--trace-out", "x.json"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn fuzz_smoke_runs_and_writes_json() {
+    let dir = std::env::temp_dir().join(format!("peakperf-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("fuzz.json");
+    let out = reproduce(&[
+        "fuzz",
+        "--seed",
+        "3",
+        "--iters",
+        "12",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "fuzz smoke failed: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Fuzz campaign"), "stdout: {text}");
+    assert!(text.contains("panic"), "stdout: {text}");
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("\"peakperf-fuzz-v1\""));
+    assert!(doc.contains("\"panic\": 0"), "json: {doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_rejects_bad_usage() {
+    // Positional arguments are not part of the fuzz grammar.
+    let out = reproduce(&["fuzz", "table1"]);
+    assert!(!out.status.success());
+
+    // Corpus flags outside the subcommand are rejected.
+    let out = reproduce(&["table1", "--corpus-dir", "x"]);
+    assert!(!out.status.success());
+    let out = reproduce(&["table1", "--replay", "x"]);
+    assert!(!out.status.success());
+
+    // Unknown GPU names are rejected.
+    let out = reproduce(&["fuzz", "--gpu", "hopper"]);
+    assert!(!out.status.success());
+}

@@ -124,11 +124,11 @@ fn width_tag(width: MemWidth) -> u64 {
 }
 
 fn special_reg_id(sr: SpecialReg) -> u64 {
-    SpecialReg::ALL.iter().position(|&s| s == sr).unwrap() as u64
+    sr.index() as u64
 }
 
 fn cmp_id(cmp: CmpOp) -> u64 {
-    CmpOp::ALL.iter().position(|&c| c == cmp).unwrap() as u64
+    cmp.index() as u64
 }
 
 /// Encode one instruction at instruction index `index` (needed for branch

@@ -52,6 +52,11 @@
 //! # Ok::<(), peakperf_sass::SassError>(())
 //! ```
 
+// This crate is the entry point of the fuzzed parse → validate → encode
+// pipeline (see `peakperf-bench::fault`): malformed input must surface as a
+// typed `SassError`, so panicking shortcuts are rejected outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod builder;
 pub mod ctl;
 mod encode;

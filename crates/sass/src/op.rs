@@ -122,6 +122,18 @@ impl CmpOp {
         CmpOp::Ne,
     ];
 
+    /// This operator's position in [`CmpOp::ALL`] (the encoding index).
+    pub const fn index(self) -> usize {
+        match self {
+            CmpOp::Lt => 0,
+            CmpOp::Le => 1,
+            CmpOp::Gt => 2,
+            CmpOp::Ge => 3,
+            CmpOp::Eq => 4,
+            CmpOp::Ne => 5,
+        }
+    }
+
     /// The mnemonic suffix (`LT`, `LE`, ...).
     pub fn suffix(self) -> &'static str {
         match self {
@@ -223,6 +235,24 @@ impl SpecialReg {
         SpecialReg::NctaidY,
         SpecialReg::LaneId,
     ];
+
+    /// This register's position in [`SpecialReg::ALL`] (the encoding index).
+    pub const fn index(self) -> usize {
+        match self {
+            SpecialReg::TidX => 0,
+            SpecialReg::TidY => 1,
+            SpecialReg::TidZ => 2,
+            SpecialReg::CtaidX => 3,
+            SpecialReg::CtaidY => 4,
+            SpecialReg::CtaidZ => 5,
+            SpecialReg::NtidX => 6,
+            SpecialReg::NtidY => 7,
+            SpecialReg::NtidZ => 8,
+            SpecialReg::NctaidX => 9,
+            SpecialReg::NctaidY => 10,
+            SpecialReg::LaneId => 11,
+        }
+    }
 
     /// Assembly name (e.g. `SR_TID.X`).
     pub fn name(self) -> &'static str {
@@ -530,7 +560,7 @@ impl Op {
             | Op::Lop { dst, .. }
             | Op::Ldc { dst, .. } => single(dst),
             Op::Ld { width, dst, .. } => (0..width.words() as u8)
-                .map(|i| dst.offset(i))
+                .filter_map(|i| dst.offset_checked(i))
                 .filter(|r| !r.is_rz())
                 .collect(),
             _ => vec![],
@@ -574,8 +604,8 @@ impl Op {
                 width, src, addr, ..
             } => {
                 push(&mut out, *addr);
-                for i in 0..width.words() as u8 {
-                    push(&mut out, src.offset(i));
+                for r in (0..width.words() as u8).filter_map(|i| src.offset_checked(i)) {
+                    push(&mut out, r);
                 }
             }
             _ => {}
@@ -667,6 +697,46 @@ mod tests {
         };
         assert!(op.def_regs().is_empty());
         assert!(op.use_regs().is_empty());
+    }
+
+    #[test]
+    fn def_use_are_total_on_rz_adjacent_wide_accesses() {
+        // Found by the differential fuzzer: register expansion must not
+        // panic on (invalid, but representable) memory ops whose word
+        // range touches or passes RZ — the validator rejects them, but
+        // it does so *by calling these functions*.
+        let ld = Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B64,
+            dst: Reg::r(62),
+            addr: Reg::r(0),
+            offset: 0,
+        };
+        assert_eq!(ld.def_regs(), vec![Reg::r(62)]);
+        let ld_rz = Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            dst: Reg::RZ,
+            addr: Reg::r(0),
+            offset: 0,
+        };
+        assert!(ld_rz.def_regs().is_empty());
+        let st = Op::St {
+            space: MemSpace::Global,
+            width: MemWidth::B128,
+            src: Reg::r(61),
+            addr: Reg::r(10),
+            offset: 0,
+        };
+        assert_eq!(st.use_regs(), vec![Reg::r(10), Reg::r(61), Reg::r(62)]);
+        let st_rz = Op::St {
+            space: MemSpace::Global,
+            width: MemWidth::B32,
+            src: Reg::RZ,
+            addr: Reg::r(10),
+            offset: 0,
+        };
+        assert_eq!(st_rz.use_regs(), vec![Reg::r(10)]);
     }
 
     #[test]

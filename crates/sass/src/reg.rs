@@ -43,6 +43,9 @@ impl Reg {
     /// # Panics
     ///
     /// Panics if `index > 63`.
+    // The panic is this constructor's documented contract for static
+    // indices; fallible callers use `Reg::new`.
+    #[allow(clippy::expect_used)]
     pub fn r(index: u8) -> Reg {
         Reg::new(index).expect("register index out of range")
     }
@@ -74,6 +77,15 @@ impl Reg {
         let idx = self.0 + offset;
         assert!(idx <= Reg::MAX_INDEX, "register R{idx} out of range");
         Reg(idx)
+    }
+
+    /// The register `offset` slots above this one, without panicking:
+    /// `None` past the register file, `Some(RZ)` when the slot lands on
+    /// index 63. For code that must stay total on arbitrary (possibly
+    /// invalid) kernels — validators, simulators, fuzzers — where the
+    /// panicking [`Reg::offset`] contract is wrong.
+    pub fn offset_checked(self, offset: u8) -> Option<Reg> {
+        self.0.checked_add(offset).and_then(|i| Reg::new(i).ok())
     }
 
     /// Whether the register index is aligned for a memory access of
@@ -134,6 +146,9 @@ impl Pred {
     /// # Panics
     ///
     /// Panics if `index > 7`.
+    // The panic is this constructor's documented contract for static
+    // indices; fallible callers use `Pred::new`.
+    #[allow(clippy::expect_used)]
     pub fn p(index: u8) -> Pred {
         Pred::new(index).expect("predicate index out of range")
     }
@@ -204,5 +219,14 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn offset_past_r62_panics() {
         let _ = Reg::r(62).offset(1);
+    }
+
+    #[test]
+    fn offset_checked_is_total() {
+        assert_eq!(Reg::r(10).offset_checked(2), Some(Reg::r(12)));
+        assert_eq!(Reg::r(62).offset_checked(1), Some(Reg::RZ));
+        assert_eq!(Reg::RZ.offset_checked(0), Some(Reg::RZ));
+        assert_eq!(Reg::r(62).offset_checked(2), None);
+        assert_eq!(Reg::RZ.offset_checked(255), None);
     }
 }

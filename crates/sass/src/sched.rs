@@ -173,6 +173,9 @@ fn schedule_region(
                 }
             };
         }
+        // Region construction topologically orders a DAG, so while any
+        // instruction is unscheduled at least one has all predecessors done.
+        #[allow(clippy::expect_used)]
         let pick = best.expect("a dependence-acyclic region always has a ready instruction");
         done[pick] = true;
         cycle = ready_at[pick].max(cycle) + 1;

@@ -11,6 +11,19 @@ fn verr(index: Option<usize>, message: impl Into<String>) -> SassError {
     }
 }
 
+/// Memory-offset range shared by LD/ST: the encoding stores a signed
+/// 24-bit byte offset (the validator must be at least as strict as the
+/// encoder, so every validated kernel is encodable).
+fn check_mem_offset(offset: i32, index: usize) -> Result<(), SassError> {
+    if !(-(1 << 23)..1 << 23).contains(&offset) {
+        return Err(verr(
+            Some(index),
+            format!("memory offset {offset} outside the signed 24-bit encoding range"),
+        ));
+    }
+    Ok(())
+}
+
 /// Validate one instruction (register-alignment rules for wide accesses,
 /// operand encodability).
 ///
@@ -19,7 +32,10 @@ fn verr(index: Option<usize>, message: impl Into<String>) -> SassError {
 /// Returns [`SassError::Validate`] describing the violated constraint.
 pub fn validate_instruction(inst: &Instruction, index: usize) -> Result<(), SassError> {
     match inst.op {
-        Op::Ld { width, dst, .. } => {
+        Op::Ld {
+            width, dst, offset, ..
+        } => {
+            check_mem_offset(offset, index)?;
             if !dst.is_aligned_for(width.words()) {
                 return Err(verr(
                     Some(index),
@@ -30,14 +46,20 @@ pub fn validate_instruction(inst: &Instruction, index: usize) -> Result<(), Sass
                     ),
                 ));
             }
-            if dst.index() as u32 + width.words() > 64 {
+            // Wide accesses expand to consecutive general registers, so
+            // the range must stop at R62: index 63 is RZ, not storage.
+            // (Single-word RZ stays legal — a discard load.)
+            if width.words() > 1 && dst.index() as u32 + width.words() > 63 {
                 return Err(verr(
                     Some(index),
-                    format!("wide load at {dst} runs past the register file"),
+                    format!("wide load at {dst} runs past R62 into the zero register"),
                 ));
             }
         }
-        Op::St { width, src, .. } => {
+        Op::St {
+            width, src, offset, ..
+        } => {
+            check_mem_offset(offset, index)?;
             if !src.is_aligned_for(width.words()) {
                 return Err(verr(
                     Some(index),
@@ -48,10 +70,12 @@ pub fn validate_instruction(inst: &Instruction, index: usize) -> Result<(), Sass
                     ),
                 ));
             }
-            if src.index() as u32 + width.words() > 64 {
+            // Single-word RZ is the store-zero idiom; wide ranges must
+            // stop at R62 like loads.
+            if width.words() > 1 && src.index() as u32 + width.words() > 63 {
                 return Err(verr(
                     Some(index),
-                    format!("wide store at {src} runs past the register file"),
+                    format!("wide store at {src} runs past R62 into the zero register"),
                 ));
             }
         }
@@ -65,11 +89,24 @@ pub fn validate_instruction(inst: &Instruction, index: usize) -> Result<(), Sass
             }
             b.check().map_err(|e| verr(Some(index), e.to_string()))?;
         }
+        Op::Iscadd { b, shift, .. } => {
+            if shift > 31 {
+                return Err(verr(
+                    Some(index),
+                    format!("ISCADD shift {shift} outside the encodable range 0..=31"),
+                ));
+            }
+            b.check().map_err(|e| verr(Some(index), e.to_string()))?;
+        }
+        Op::Ldc { bank, offset, .. } => {
+            crate::Operand::Const { bank, offset }
+                .check()
+                .map_err(|e| verr(Some(index), e.to_string()))?;
+        }
         Op::Mov { src: b, .. }
         | Op::Iadd { b, .. }
         | Op::Imul { b, .. }
         | Op::Imad { b, .. }
-        | Op::Iscadd { b, .. }
         | Op::Shl { b, .. }
         | Op::Shr { b, .. }
         | Op::Lop { b, .. }
@@ -87,6 +124,7 @@ pub fn validate_instruction(inst: &Instruction, index: usize) -> Result<(), Sass
 /// * the highest register index used is within `num_regs` and the
 ///   generation's hard encoding limit (63 on Fermi/GK104, Section 2);
 /// * branch targets stay inside the kernel;
+/// * the shared-memory declaration fits the generation's per-block limit;
 /// * local-memory accesses require a non-zero `local_bytes` declaration;
 /// * Kepler kernels carry one control field per instruction.
 ///
@@ -97,6 +135,16 @@ pub fn validate_kernel(kernel: &Kernel, generation: Generation) -> Result<(), Sa
     let n = kernel.code.len();
     if n == 0 {
         return Err(verr(None, "kernel has no instructions"));
+    }
+    let max_shared = generation.max_shared_bytes_per_block();
+    if kernel.shared_bytes > max_shared {
+        return Err(verr(
+            None,
+            format!(
+                "kernel declares {} bytes of shared memory but {generation} allows {max_shared}",
+                kernel.shared_bytes
+            ),
+        ));
     }
     let max_regs = generation.max_registers_per_thread();
     if kernel.num_regs > max_regs {
@@ -291,6 +339,128 @@ mod tests {
     fn empty_kernel_rejected() {
         let k = kernel_with(vec![], 4);
         assert!(validate_kernel(&k, Generation::Fermi).is_err());
+    }
+
+    #[test]
+    fn iscadd_shift_range_enforced() {
+        let bad = Instruction::new(Op::Iscadd {
+            dst: Reg::r(0),
+            a: Reg::r(1),
+            b: Operand::reg(2),
+            shift: 32,
+        });
+        assert!(validate_instruction(&bad, 0).is_err());
+        let ok = Instruction::new(Op::Iscadd {
+            dst: Reg::r(0),
+            a: Reg::r(1),
+            b: Operand::reg(2),
+            shift: 31,
+        });
+        assert!(validate_instruction(&ok, 0).is_ok());
+    }
+
+    #[test]
+    fn memory_offset_range_enforced() {
+        let mk = |offset| {
+            Instruction::new(Op::Ld {
+                space: MemSpace::Global,
+                width: MemWidth::B32,
+                dst: Reg::r(0),
+                addr: Reg::r(1),
+                offset,
+            })
+        };
+        assert!(validate_instruction(&mk(1 << 23), 0).is_err());
+        assert!(validate_instruction(&mk(-(1 << 23) - 1), 0).is_err());
+        assert!(validate_instruction(&mk((1 << 23) - 1), 0).is_ok());
+        assert!(validate_instruction(&mk(-(1 << 23)), 0).is_ok());
+    }
+
+    #[test]
+    fn ldc_operand_range_enforced() {
+        let bad_bank = Instruction::new(Op::Ldc {
+            dst: Reg::r(0),
+            bank: 16,
+            offset: 0,
+        });
+        assert!(validate_instruction(&bad_bank, 0).is_err());
+        let misaligned = Instruction::new(Op::Ldc {
+            dst: Reg::r(0),
+            bank: 0,
+            offset: 6,
+        });
+        assert!(validate_instruction(&misaligned, 0).is_err());
+        let ok = Instruction::new(Op::Ldc {
+            dst: Reg::r(0),
+            bank: 15,
+            offset: 0xFFFC,
+        });
+        assert!(validate_instruction(&ok, 0).is_ok());
+    }
+
+    #[test]
+    fn wide_access_may_not_run_into_rz() {
+        // Found by the differential fuzzer: LD.64 R62 / LD.128 R60 pass
+        // alignment and sit inside the 6-bit encoding, but their last
+        // word lands on index 63 (RZ). They must be rejected, not left
+        // to panic downstream register-expansion code.
+        let ld64 = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B64,
+            dst: Reg::r(62),
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        assert!(validate_instruction(&ld64, 0).is_err());
+        let ld128 = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B128,
+            dst: Reg::r(60),
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        assert!(validate_instruction(&ld128, 0).is_err());
+        let st64 = Instruction::new(Op::St {
+            space: MemSpace::Shared,
+            width: MemWidth::B64,
+            src: Reg::r(62),
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        assert!(validate_instruction(&st64, 0).is_err());
+    }
+
+    #[test]
+    fn single_word_rz_data_register_is_legal() {
+        // `LD RZ` is a discard load and `ST ..., RZ` stores zero; both
+        // are valid and must validate without panicking.
+        let ld = Instruction::new(Op::Ld {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            dst: Reg::RZ,
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        let st = Instruction::new(Op::St {
+            space: MemSpace::Shared,
+            width: MemWidth::B32,
+            src: Reg::RZ,
+            addr: Reg::r(0),
+            offset: 0,
+        });
+        let k = kernel_with(vec![ld, st, Instruction::new(Op::Exit)], 4);
+        assert!(validate_kernel(&k, Generation::Fermi).is_ok());
+    }
+
+    #[test]
+    fn shared_memory_limit_enforced() {
+        let mut k = kernel_with(vec![Instruction::new(Op::Exit)], 4);
+        k.shared_bytes = 48 * 1024;
+        assert!(validate_kernel(&k, Generation::Fermi).is_ok());
+        assert!(validate_kernel(&k, Generation::Gt200).is_err());
+        k.shared_bytes = 48 * 1024 + 4;
+        let e = validate_kernel(&k, Generation::Fermi).unwrap_err();
+        assert!(e.to_string().contains("shared"));
     }
 
     #[test]

@@ -2,6 +2,44 @@
 
 use std::fmt;
 
+/// The scheduling state of one warp at the moment a watchdog tripped.
+///
+/// `pc` is `None` once the warp has exited; `state` is a short tag such as
+/// `"done"`, `"barrier"`, `"ctl_stall"` or `"runnable"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpHang {
+    /// Warp index within the snapshot (block-local for the functional
+    /// simulator, SM-slot index for the timing simulator).
+    pub warp: u32,
+    /// Instruction index the warp is parked at, if it has not exited.
+    pub pc: Option<u32>,
+    /// Short scheduling-state tag.
+    pub state: &'static str,
+}
+
+/// A per-warp scheduling snapshot attached to hang/deadlock errors so a
+/// tripped watchdog is debuggable rather than opaque.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangSnapshot {
+    /// Step count (functional sim) or cycle (timing sim) at capture time.
+    pub at: u64,
+    /// One entry per warp still tracked by the engine.
+    pub warps: Vec<WarpHang>,
+}
+
+impl fmt::Display for HangSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}:", self.at)?;
+        for w in &self.warps {
+            match w.pc {
+                Some(pc) => write!(f, " w{}@{:#x}[{}]", w.warp, pc, w.state)?,
+                None => write!(f, " w{}[{}]", w.warp, w.state)?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Errors raised while simulating a kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -32,6 +70,16 @@ pub enum SimError {
     },
     /// The kernel ran past its instruction stream without `EXIT`.
     RanOffEnd,
+    /// Some warps of a block wait at a `BAR.SYNC` that can never be
+    /// satisfied because other member warps have already exited.
+    BarrierDeadlock {
+        /// Instruction index of a barrier being waited on.
+        pc: u32,
+        /// Number of member warps parked at the barrier.
+        waiting: u32,
+        /// Number of member warps that already exited.
+        exited: u32,
+    },
     /// Kernel/launch mismatch (parameter count, block size, resources).
     Launch {
         /// Description of the problem.
@@ -42,6 +90,8 @@ pub enum SimError {
     StepLimit {
         /// The limit that was hit.
         limit: u64,
+        /// Per-warp scheduling state at the moment the limit tripped.
+        snapshot: Option<HangSnapshot>,
     },
     /// Structural validation failed before execution.
     Invalid {
@@ -66,9 +116,24 @@ impl fmt::Display for SimError {
                 write!(f, "BAR.SYNC at pc {pc:#x} executed by a diverged warp")
             }
             SimError::RanOffEnd => f.write_str("execution ran past the end of the kernel"),
+            SimError::BarrierDeadlock {
+                pc,
+                waiting,
+                exited,
+            } => {
+                write!(
+                    f,
+                    "barrier deadlock at pc {pc:#x}: {waiting} warp(s) waiting, \
+                     {exited} member warp(s) already exited"
+                )
+            }
             SimError::Launch { message } => write!(f, "launch error: {message}"),
-            SimError::StepLimit { limit } => {
-                write!(f, "step limit of {limit} exceeded (infinite loop?)")
+            SimError::StepLimit { limit, snapshot } => {
+                write!(f, "step limit of {limit} exceeded (infinite loop?)")?;
+                if let Some(snap) = snapshot {
+                    write!(f, "; {snap}")?;
+                }
+                Ok(())
             }
             SimError::Invalid { message } => write!(f, "invalid kernel: {message}"),
         }
@@ -98,8 +163,38 @@ mod tests {
         };
         assert!(e.to_string().contains("global"));
         assert!(e.to_string().contains("0x100"));
-        let e = SimError::StepLimit { limit: 10 };
+        let e = SimError::StepLimit {
+            limit: 10,
+            snapshot: None,
+        };
         assert!(e.to_string().contains("10"));
+        let e = SimError::StepLimit {
+            limit: 10,
+            snapshot: Some(HangSnapshot {
+                at: 11,
+                warps: vec![
+                    WarpHang {
+                        warp: 0,
+                        pc: Some(4),
+                        state: "barrier",
+                    },
+                    WarpHang {
+                        warp: 1,
+                        pc: None,
+                        state: "done",
+                    },
+                ],
+            }),
+        };
+        let text = e.to_string();
+        assert!(text.contains("w0@0x4[barrier]"), "{text}");
+        assert!(text.contains("w1[done]"), "{text}");
+        let e = SimError::BarrierDeadlock {
+            pc: 3,
+            waiting: 7,
+            exited: 1,
+        };
+        assert!(e.to_string().contains("deadlock"));
     }
 
     #[test]

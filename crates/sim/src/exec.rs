@@ -142,7 +142,7 @@ fn local_access(local_bytes: u32, addr: u32, width: MemWidth) -> Result<usize, S
             align: bytes,
         });
     }
-    if addr + bytes > local_bytes {
+    if u64::from(addr) + u64::from(bytes) > u64::from(local_bytes) {
         return Err(SimError::OutOfBounds {
             space: "local",
             addr: u64::from(addr),
@@ -150,6 +150,14 @@ fn local_access(local_bytes: u32, addr: u32, width: MemWidth) -> Result<usize, S
         });
     }
     Ok(addr as usize)
+}
+
+/// Read a little-endian word out of a byte buffer without the panicking
+/// `try_into().unwrap()` slice conversion.
+fn read_word(buf: &[u8], i: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[i..i + 4]);
+    u32::from_le_bytes(b)
 }
 
 fn global_check(_global: &GlobalMemory, addr: u32, width: MemWidth) -> Result<(), SimError> {
@@ -247,7 +255,7 @@ pub fn execute_op(
             for l in lanes {
                 let av = warp.reg(l, a);
                 let bv = operand_value(warp, l, b, mem, block)?;
-                warp.set_reg(l, dst, (av << shift).wrapping_add(bv));
+                warp.set_reg(l, dst, av.wrapping_shl(u32::from(shift)).wrapping_add(bv));
             }
         }
         Op::Shl { dst, a, b } => {
@@ -303,17 +311,22 @@ pub fn execute_op(
                         }
                         MemSpace::Shared => {
                             let i = shared_access(mem.shared, base, width)? + 4 * w as usize;
-                            u32::from_le_bytes(mem.shared[i..i + 4].try_into().unwrap())
+                            read_word(mem.shared, i)
                         }
                         MemSpace::Local => {
                             let t = lane_linear_tid(warp.warp_id, l) as usize;
                             let i = t * mem.local_bytes as usize
                                 + local_access(mem.local_bytes, base, width)?
                                 + 4 * w as usize;
-                            u32::from_le_bytes(mem.local[i..i + 4].try_into().unwrap())
+                            read_word(mem.local, i)
                         }
                     };
-                    warp.set_reg(l, dst.offset(w as u8), value);
+                    // `offset_checked` keeps this total on unvalidated
+                    // kernels; a slot at/past RZ discards the word (the
+                    // memory access itself still happened above).
+                    if let Some(r) = dst.offset_checked(w as u8) {
+                        warp.set_reg(l, r, value);
+                    }
                 }
             }
             outcome.mem = Some(MemAccess {
@@ -335,7 +348,9 @@ pub fn execute_op(
                 let base = warp.reg(l, addr).wrapping_add(offset as u32);
                 addrs.push(base);
                 for w in 0..width.words() {
-                    let value = warp.reg(l, src.offset(w as u8));
+                    // RZ (or a slot past the file) sources zero — `ST
+                    // [addr], RZ` is the store-zero idiom.
+                    let value = src.offset_checked(w as u8).map_or(0, |r| warp.reg(l, r));
                     match space {
                         MemSpace::Global => {
                             global_check(mem.global, base, width)?;

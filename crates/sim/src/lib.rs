@@ -47,6 +47,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// The simulator is fuzzed with adversarial kernels (see
+// `peakperf-bench::fault`): every failure must surface as a typed
+// `SimError`, so panicking shortcuts are rejected outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod error;
 mod exec;
 mod func;
@@ -56,7 +61,7 @@ mod stats;
 pub mod timing;
 mod warp;
 
-pub use error::SimError;
+pub use error::{HangSnapshot, SimError, WarpHang};
 pub use func::Gpu;
 pub use launch::{Dim3, LaunchConfig};
 pub use mem::GlobalMemory;

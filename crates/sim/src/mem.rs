@@ -95,7 +95,9 @@ impl GlobalMemory {
             });
         }
         let i = self.check(addr, 4)?;
-        Ok(u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap()))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.data[i..i + 4]);
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Write a 32-bit word.

@@ -102,6 +102,14 @@ pub struct SimCache {
     disk: Mutex<Option<PathBuf>>,
 }
 
+/// Lock a mutex, recovering the data if a previous holder panicked. Both
+/// cache maps stay coherent under partial updates (inserts are atomic per
+/// entry), so poison recovery is safe and keeps the cache usable after a
+/// caught experiment panic.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl SimCache {
     /// An empty cache; `disk_dir`, when given, names a directory where
     /// entries are persisted as one small text file each (created on first
@@ -116,13 +124,13 @@ impl SimCache {
     /// Look up a report by key: memory first, then disk (a disk hit is
     /// promoted into memory).
     pub fn lookup(&self, key: u128) -> Option<TimingReport> {
-        if let Some(r) = self.mem.lock().unwrap().get(&key) {
+        if let Some(r) = lock_recover(&self.mem).get(&key) {
             return Some(r.clone());
         }
         let path = self.entry_path(key)?;
         let text = std::fs::read_to_string(path).ok()?;
         let report = parse_report(&text)?;
-        self.mem.lock().unwrap().insert(key, report.clone());
+        lock_recover(&self.mem).insert(key, report.clone());
         Some(report)
     }
 
@@ -130,7 +138,7 @@ impl SimCache {
     /// Disk write failures are ignored: the cache is an accelerator, not a
     /// store of record.
     pub fn store(&self, key: u128, report: &TimingReport) {
-        self.mem.lock().unwrap().insert(key, report.clone());
+        lock_recover(&self.mem).insert(key, report.clone());
         if let Some(path) = self.entry_path(key) {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
@@ -141,7 +149,7 @@ impl SimCache {
 
     /// Number of in-memory entries.
     pub fn len(&self) -> usize {
-        self.mem.lock().unwrap().len()
+        lock_recover(&self.mem).len()
     }
 
     /// Whether the in-memory tier is empty.
@@ -150,7 +158,7 @@ impl SimCache {
     }
 
     fn entry_path(&self, key: u128) -> Option<PathBuf> {
-        let disk = self.disk.lock().unwrap();
+        let disk = lock_recover(&self.disk);
         disk.as_ref()
             .map(|dir| dir.join(format!("{key:032x}.simcache")))
     }
@@ -171,7 +179,7 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 pub fn enable_global(disk_dir: Option<PathBuf>) {
     let cache = GLOBAL.get_or_init(|| SimCache::new(None));
     if let Some(dir) = disk_dir {
-        *cache.disk.lock().unwrap() = Some(dir);
+        *lock_recover(&cache.disk) = Some(dir);
     }
     ENABLED.store(true, Ordering::Release);
 }

@@ -10,7 +10,7 @@ use crate::timing::conflict::{global_transactions, shared_conflict_factor, SEGME
 use crate::timing::trace::{NoopSink, TraceEvent, TraceEventKind, TraceSink, NO_PC};
 use crate::timing::Calibration;
 use crate::warp::{StepEvent, WarpState};
-use crate::{Dim3, GlobalMemory, InstMix, LaunchConfig, SimError};
+use crate::{Dim3, GlobalMemory, HangSnapshot, InstMix, LaunchConfig, SimError, WarpHang};
 
 /// Default safety limit on simulated cycles.
 const DEFAULT_CYCLE_LIMIT: u64 = 200_000_000;
@@ -373,6 +373,7 @@ impl TimingSim {
             if cycle > self.cycle_limit {
                 return Err(SimError::StepLimit {
                     limit: self.cycle_limit,
+                    snapshot: Some(timing_hang_snapshot(cycle, &slots)),
                 });
             }
             if let Some(refill) = self.calib.tokens_per_cycle {
@@ -507,6 +508,22 @@ impl TimingSim {
                     .filter(|&w| !slots[w].done)
                     .collect();
                 if !running.is_empty() && running.iter().all(|&w| slots[w].at_barrier) {
+                    // Matching the functional model (`func::run_block`): if
+                    // any member warp of the block already exited, the
+                    // barrier can never be satisfied — report the deadlock
+                    // instead of silently releasing the waiters.
+                    if running.len() != members.len() {
+                        let pc = running
+                            .first()
+                            .and_then(|&w| slots[w].state.current_group())
+                            .map(|(pc, _)| pc)
+                            .unwrap_or(0);
+                        return Err(SimError::BarrierDeadlock {
+                            pc,
+                            waiting: running.len() as u32,
+                            exited: (members.len() - running.len()) as u32,
+                        });
+                    }
                     for &w in &running {
                         let slot = &mut slots[w];
                         slot.at_barrier = false;
@@ -841,6 +858,33 @@ enum IssueResult {
     NotReady,
 }
 
+/// Capture the scheduling state of every warp slot for cycle-limit
+/// diagnostics.
+fn timing_hang_snapshot(cycle: u64, slots: &[WarpSlot]) -> HangSnapshot {
+    let warps = slots
+        .iter()
+        .enumerate()
+        .map(|(w, slot)| {
+            let pc = slot.state.current_group().map(|(pc, _)| pc);
+            let (pc, state) = if slot.done {
+                (None, "done")
+            } else if slot.at_barrier {
+                (pc, "barrier")
+            } else if slot.next_issue > cycle {
+                (pc, "ctl_stall")
+            } else {
+                (pc, "runnable")
+            };
+            WarpHang {
+                warp: w as u32,
+                pc,
+                state,
+            }
+        })
+        .collect();
+    HangSnapshot { at: cycle, warps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -944,7 +988,55 @@ mod tests {
         let mut mem = GlobalMemory::new();
         let mut sim = TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 32), &[], 1).unwrap();
         sim.set_cycle_limit(10_000);
-        assert!(matches!(sim.run(&mut mem), Err(SimError::StepLimit { .. })));
+        match sim.run(&mut mem) {
+            Err(SimError::StepLimit { limit, snapshot }) => {
+                assert_eq!(limit, 10_000);
+                let snap = snapshot.expect("cycle limit carries a snapshot");
+                assert_eq!(snap.warps.len(), 1);
+                assert_ne!(snap.warps[0].state, "done");
+            }
+            other => panic!("expected StepLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_deadlock_matches_functional_model() {
+        // Warp 0 (tid < 32) exits before the barrier; warp 1 waits forever.
+        // Both engines must report the same typed deadlock.
+        let mut b = KernelBuilder::new("deadlock", Generation::Fermi);
+        b.s2r(Reg::r(0), peakperf_sass::SpecialReg::TidX);
+        b.isetp(
+            peakperf_sass::Pred::p(0),
+            peakperf_sass::CmpOp::Lt,
+            Reg::r(0),
+            32,
+        );
+        b.with_pred(peakperf_sass::Pred::p(0), false).exit();
+        b.bar();
+        b.exit();
+        let kernel = b.finish().unwrap();
+
+        let mut gpu = crate::Gpu::new(Generation::Fermi);
+        let func_err = gpu
+            .launch(&kernel, LaunchConfig::linear(1, 64), &[])
+            .unwrap_err();
+
+        let config = GpuConfig::gtx580();
+        let mut mem = GlobalMemory::new();
+        let mut sim =
+            TimingSim::new(&config, &kernel, LaunchConfig::linear(1, 64), &[], 1).unwrap();
+        sim.set_cycle_limit(100_000);
+        let timing_err = sim.run(&mut mem).unwrap_err();
+
+        assert_eq!(
+            func_err,
+            SimError::BarrierDeadlock {
+                pc: 3,
+                waiting: 1,
+                exited: 1,
+            }
+        );
+        assert_eq!(func_err, timing_err);
     }
 
     #[test]

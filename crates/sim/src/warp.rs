@@ -64,7 +64,7 @@ impl WarpState {
             } else {
                 (1 << lanes) - 1
             },
-            regs: vec![0u32; 32 * 64].into_boxed_slice().try_into().unwrap(),
+            regs: Box::new([0u32; 32 * 64]),
             preds: [0; 32],
         }
     }
