@@ -6,6 +6,9 @@
 //! reproduce profile <target>... [--trace-out <path>] [--profile-out <path>]
 //! reproduce fuzz [--seed <n>] [--iters <n>] [--gpu <gen>]...
 //!                [--corpus-dir <path>] [--replay <dir>]
+//! reproduce bench [--json <path>] [--compare <baseline.json>]
+//!                 [--compare-out <path>] [--wall-band <f>] [--acc-band <f>]
+//!                 [--filter <prefix>]
 //!
 //! options:
 //!   --full               simulate the full problem sizes
@@ -28,6 +31,20 @@
 //!                        paper GPUs: fermi and kepler)
 //!   --corpus-dir <path>  write minimized violations as .case files
 //!   --replay <dir>       replay a corpus directory instead of fuzzing
+//!
+//! bench options:
+//!   --json <path>        write the peakperf-bench-v1 telemetry document
+//!   --compare <path>     diff against a baseline document; the exit code
+//!                        fails on any gated regression (accuracy drift in
+//!                        either direction, wall time beyond the noise
+//!                        band, lost rows)
+//!   --compare-out <path> write the peakperf-bench-compare-v1 diff
+//!   --wall-band <f>      relative wall-time noise band (default 0.30;
+//!                        CI uses a much wider band)
+//!   --acc-band <f>       accuracy drift band in percentage points of
+//!                        model error (default 0.5)
+//!   --filter <prefix>    run only suite rows whose id starts with
+//!                        <prefix> (e.g. `table2/` or `sgemm/gtx680`)
 //! ```
 //!
 //! Experiment names are validated up front; a failing (or panicking)
@@ -41,8 +58,10 @@ use peakperf_arch::Generation;
 use peakperf_bench::exec;
 use peakperf_bench::experiments::{self, Speed};
 use peakperf_bench::fault;
+use peakperf_bench::json::Json;
 use peakperf_bench::perf::{PerfSpan, RunReport};
 use peakperf_bench::profiling;
+use peakperf_bench::telemetry;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -52,6 +71,8 @@ fn usage() -> ExitCode {
          [--json <path>] <target>...\n\
          \x20      reproduce fuzz [--seed <n>] [--iters <n>] [--gpu <gen>]... \
          [--corpus-dir <path>] [--replay <dir>] [--json <path>]\n\
+         \x20      reproduce bench [--json <path>] [--compare <baseline.json>] \
+         [--compare-out <path>] [--wall-band <f>] [--acc-band <f>] [--filter <prefix>]\n\
          experiments: {} all\n\
          profile targets: {}",
         ALL.join(" "),
@@ -119,6 +140,11 @@ struct Options {
     fuzz_gpus: Vec<Generation>,
     corpus_dir: Option<String>,
     replay_dir: Option<String>,
+    bench_mode: bool,
+    compare: Option<String>,
+    compare_out: Option<String>,
+    bench_filter: Option<String>,
+    compare_config: telemetry::CompareConfig,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -137,6 +163,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fuzz_gpus: Vec::new(),
         corpus_dir: None,
         replay_dir: None,
+        bench_mode: false,
+        compare: None,
+        compare_out: None,
+        bench_filter: None,
+        compare_config: telemetry::CompareConfig::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -201,6 +232,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--replay needs a value")?;
                 opts.replay_dir = Some(v.clone());
             }
+            "--compare" => {
+                let v = it.next().ok_or("--compare needs a value")?;
+                opts.compare = Some(v.clone());
+            }
+            "--compare-out" => {
+                let v = it.next().ok_or("--compare-out needs a value")?;
+                opts.compare_out = Some(v.clone());
+            }
+            "--filter" => {
+                let v = it.next().ok_or("--filter needs a value")?;
+                opts.bench_filter = Some(v.clone());
+            }
+            "--wall-band" => {
+                let v = it.next().ok_or("--wall-band needs a value")?;
+                opts.compare_config.wall_band = v
+                    .parse()
+                    .ok()
+                    .filter(|b: &f64| b.is_finite() && *b >= 0.0)
+                    .ok_or_else(|| format!("invalid wall band `{v}`"))?;
+            }
+            "--acc-band" => {
+                let v = it.next().ok_or("--acc-band needs a value")?;
+                opts.compare_config.acc_band = v
+                    .parse()
+                    .ok()
+                    .filter(|b: &f64| b.is_finite() && *b >= 0.0)
+                    .ok_or_else(|| format!("invalid accuracy band `{v}`"))?;
+            }
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -211,8 +270,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "fuzz" if opts.names.is_empty() && !opts.profile_mode && !opts.fuzz_mode => {
                 opts.fuzz_mode = true;
             }
+            "bench"
+                if opts.names.is_empty()
+                    && !opts.profile_mode
+                    && !opts.fuzz_mode
+                    && !opts.bench_mode =>
+            {
+                opts.bench_mode = true;
+            }
             other => opts.names.push(other.to_owned()),
         }
+    }
+    if opts.bench_mode {
+        if !opts.names.is_empty() {
+            return Err(format!(
+                "bench takes no positional arguments (got {}); \
+                 use --filter <prefix> to select rows",
+                opts.names.join(", ")
+            ));
+        }
+        return Ok(opts);
+    }
+    if opts.compare.is_some() || opts.compare_out.is_some() || opts.bench_filter.is_some() {
+        return Err("--compare/--compare-out/--filter require the `bench` subcommand".to_owned());
     }
     if opts.fuzz_mode {
         if !opts.names.is_empty() {
@@ -287,6 +367,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn run_profiles(opts: &Options, report: &mut RunReport) -> u32 {
     let mut failures = 0u32;
     let mut profile_jsons: Vec<String> = Vec::new();
+    let mut profile_gpus: Vec<&'static str> = Vec::new();
     for name in &opts.names {
         let span = PerfSpan::begin();
         let want_trace = opts.trace_out.is_some();
@@ -299,6 +380,9 @@ fn run_profiles(opts: &Options, report: &mut RunReport) -> u32 {
             Ok(out) => {
                 println!("{}", out.text);
                 profile_jsons.push(out.json.clone());
+                if !profile_gpus.contains(&out.gpu) {
+                    profile_gpus.push(out.gpu);
+                }
                 if let (Some(path), Some(chrome)) = (&opts.trace_out, &out.chrome) {
                     if let Err(e) = std::fs::write(path, chrome) {
                         eprintln!("error: could not write trace to {path}: {e}");
@@ -322,7 +406,7 @@ fn run_profiles(opts: &Options, report: &mut RunReport) -> u32 {
         report.experiments.push(perf);
     }
     if let Some(path) = &opts.profile_out {
-        let doc = profiling::profile_document(&profile_jsons);
+        let doc = profiling::profile_document(&profile_jsons, &profile_gpus);
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("error: could not write profile document to {path}: {e}");
             failures += 1;
@@ -425,6 +509,60 @@ fn run_fuzz(opts: &Options) -> ExitCode {
     }
 }
 
+/// Run the `bench` subcommand: the fixed telemetry suite, optionally
+/// written as a `peakperf-bench-v1` document and/or gated against a
+/// checked-in baseline.
+fn run_bench(opts: &Options) -> ExitCode {
+    let report = match telemetry::run_suite_filtered(opts.bench_filter.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: bench suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.render_text());
+    let mut failures = 0u32;
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: could not write bench document to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[bench document written to {path}]");
+        }
+    }
+    if let Some(baseline_path) = &opts.compare {
+        let comparison = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("could not read baseline {baseline_path}: {e}"))
+            .and_then(|text| {
+                Json::parse(&text).map_err(|e| format!("baseline {baseline_path}: {e}"))
+            })
+            .and_then(|baseline| telemetry::compare(&report, &baseline, opts.compare_config));
+        match comparison {
+            Ok(cmp) => {
+                println!("{}", cmp.render_text());
+                if let Some(path) = &opts.compare_out {
+                    if let Err(e) = std::fs::write(path, cmp.to_json()) {
+                        eprintln!("error: could not write comparison to {path}: {e}");
+                        failures += 1;
+                    } else {
+                        eprintln!("[comparison written to {path}]");
+                    }
+                }
+                failures += u32::try_from(cmp.failures().len()).unwrap_or(u32::MAX);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -438,6 +576,14 @@ fn main() -> ExitCode {
     };
     if opts.fuzz_mode {
         return run_fuzz(&opts);
+    }
+    if opts.bench_mode {
+        if opts.use_cache {
+            peakperf_sim::timing::cache::enable_global(
+                opts.cache_dir.clone().map(std::path::PathBuf::from),
+            );
+        }
+        return run_bench(&opts);
     }
     if opts.names.is_empty() {
         return usage();

@@ -129,6 +129,35 @@ impl Executor {
             .unwrap_or_else(|never| match never {})
     }
 
+    /// Like [`Executor::try_map`], additionally pairing each result with
+    /// the simulation-counter growth attributable to that job alone.
+    ///
+    /// The scope opens and closes at the executor boundary (around one
+    /// job, on the worker thread that claimed it), so concurrent jobs do
+    /// not interleave into each other's counters the way they do in the
+    /// process-global [`peakperf_sim::Counters::snapshot`] view. The
+    /// global counters still advance for backwards compatibility.
+    ///
+    /// # Errors
+    ///
+    /// The error of the first failing job, by input order.
+    pub fn try_map_scoped<I, T, E, F>(
+        &self,
+        items: &[I],
+        f: F,
+    ) -> Result<Vec<(T, peakperf_sim::Counters)>, E>
+    where
+        I: Sync,
+        T: Send,
+        E: Send,
+        F: Fn(&I) -> Result<T, E> + Sync,
+    {
+        self.try_map(items, |item| {
+            let (result, counters) = peakperf_sim::with_counter_scope(|| f(item));
+            result.map(|value| (value, counters))
+        })
+    }
+
     /// Like [`Executor::map`] for fallible jobs: on success returns every
     /// result in input order; on failure returns the error of the
     /// smallest-index failing job (deterministic — jobs are claimed in
@@ -287,6 +316,26 @@ mod tests {
             started.load(Ordering::Relaxed) < items.len(),
             "a failure should stop the remaining jobs"
         );
+    }
+
+    #[test]
+    fn try_map_scoped_attributes_counters_per_job() {
+        // No simulation here, so every per-job delta must be zero — the
+        // real attribution is covered by the telemetry integration tests;
+        // this guards the plumbing (shape, order, error path).
+        let items: Vec<usize> = (0..16).collect();
+        let ex = Executor::new(4);
+        let out = ex
+            .try_map_scoped(&items, |&i| Ok::<usize, ()>(i * 2))
+            .unwrap();
+        assert_eq!(out.len(), 16);
+        for (i, (v, c)) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+            assert_eq!(*c, peakperf_sim::Counters::default());
+        }
+        let err: Result<Vec<(usize, _)>, usize> =
+            ex.try_map_scoped(&items, |&i| if i == 3 { Err(i) } else { Ok(i) });
+        assert_eq!(err.unwrap_err(), 3);
     }
 
     #[test]

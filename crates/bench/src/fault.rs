@@ -41,8 +41,7 @@ use peakperf_sim::timing::{TimingSim, TraceEvent, TraceSink};
 use peakperf_sim::{GlobalMemory, Gpu, LaunchConfig, SimError};
 
 use crate::exec::{panic_message, run_isolated, Executor};
-use crate::perf::{json_f64, json_string};
-use crate::report::Table;
+use crate::report::{envelope_json, json_f64, json_string, Table};
 
 /// Functional-model step budget per mutant (mutants routinely turn loop
 /// bounds into near-infinite counters; the watchdog keeps them cheap).
@@ -1287,15 +1286,14 @@ pub fn render_campaign(cfg: &CampaignConfig, result: &CampaignResult) -> String 
 pub fn campaign_json(cfg: &CampaignConfig, result: &CampaignResult, wall_ms: f64) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"format\": \"peakperf-fuzz-v1\",");
-    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
-    let _ = writeln!(out, "  \"iters\": {},", cfg.iters);
-    let gens: Vec<String> = cfg
+    let gens: Vec<&str> = cfg
         .generations
         .iter()
-        .map(|&g| json_string(generation_name(g)))
+        .map(|&g| generation_name(g))
         .collect();
-    let _ = writeln!(out, "  \"generations\": [{}],", gens.join(", "));
+    out.push_str(&envelope_json("peakperf-fuzz-v1", &gens));
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"iters\": {},", cfg.iters);
     let _ = writeln!(out, "  \"wall_ms\": {},", json_f64(wall_ms));
     let t = &result.tally;
     let _ = writeln!(
@@ -1503,7 +1501,9 @@ mod tests {
         assert_eq!(result.cases, 6);
         assert_eq!(result.tally.panic, 0, "mutants must never panic");
         let json = campaign_json(&cfg, &result, 12.0);
-        assert!(json.contains("\"format\": \"peakperf-fuzz-v1\""));
+        assert!(json.contains("\"schema\": \"peakperf-fuzz-v1\""));
+        assert!(json.contains("\"gpu\": [\"fermi\", \"kepler\"]"));
+        assert!(json.contains("\"generated_by\": \"peakperf-bench"));
         assert!(json.contains("\"outcomes\""));
         let text = render_campaign(&cfg, &result);
         assert!(text.contains("Fuzz campaign"));

@@ -10,6 +10,8 @@ pub mod exec;
 pub mod experiments;
 pub mod fault;
 pub mod harness;
+pub mod json;
 pub mod perf;
 pub mod profiling;
 pub mod report;
+pub mod telemetry;

@@ -13,6 +13,7 @@ use peakperf_sim::timing::StallKind;
 use peakperf_sim::Counters;
 
 use crate::exec::JobStats;
+use crate::report::{envelope_json, json_f64, json_string, PAPER_GPUS};
 
 /// Performance record of one experiment.
 #[derive(Debug, Clone)]
@@ -87,14 +88,7 @@ impl RunReport {
     pub fn totals(&self) -> Counters {
         let mut t = Counters::default();
         for e in &self.experiments {
-            t.timing_runs += e.counters.timing_runs;
-            t.sim_cycles += e.counters.sim_cycles;
-            t.warp_instructions += e.counters.warp_instructions;
-            t.cache_hits += e.counters.cache_hits;
-            t.cache_misses += e.counters.cache_misses;
-            for (slot, n) in t.stall_cycles.iter_mut().zip(e.counters.stall_cycles) {
-                *slot += n;
-            }
+            t.accumulate(&e.counters);
         }
         t
     }
@@ -130,10 +124,11 @@ impl RunReport {
         out
     }
 
-    /// Render as a JSON document.
+    /// Render as a `peakperf-perf-v1` JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
+        out.push_str(&envelope_json("peakperf-perf-v1", &PAPER_GPUS));
         let _ = writeln!(out, "  \"workers\": {},", self.workers);
         let _ = writeln!(out, "  \"cache_enabled\": {},", self.cache_enabled);
         match &self.cache_dir {
@@ -199,7 +194,7 @@ impl RunReport {
     }
 }
 
-fn counters_json(c: &Counters, indent: &str) -> String {
+pub(crate) fn counters_json(c: &Counters, indent: &str) -> String {
     let mut stalls = String::new();
     for (i, kind) in StallKind::ALL.into_iter().enumerate() {
         if i > 0 {
@@ -221,37 +216,6 @@ fn counters_json(c: &Counters, indent: &str) -> String {
          {indent}  \"stall_cycles\": {{{stalls}}}\n{indent}}}",
         c.timing_runs, c.sim_cycles, c.warp_instructions, c.cache_hits, c.cache_misses
     )
-}
-
-/// A JSON number: finite floats print with enough precision to round-trip;
-/// non-finite values (not expected) degrade to null.
-pub(crate) fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.3}")
-    } else {
-        "null".to_owned()
-    }
-}
-
-/// Escape a string per RFC 8259.
-pub(crate) fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -298,6 +262,8 @@ mod tests {
     #[test]
     fn json_is_well_formed_and_escaped() {
         let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"peakperf-perf-v1\""));
+        assert!(json.contains("\"generated_by\": \"peakperf-bench"));
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"name\": \"table1\""));
         assert!(json.contains("\\\"quote\\\"\\nline"));
@@ -323,12 +289,6 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("FAILED"));
         assert!(text.contains("table1"));
-    }
-
-    #[test]
-    fn string_escaping_covers_controls() {
-        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
-        assert_eq!(json_string("x\\y"), "\"x\\\\y\"");
     }
 
     #[test]

@@ -98,6 +98,8 @@ impl RateBasis {
 /// The result of profiling one target.
 #[derive(Debug, Clone)]
 pub struct ProfileOutcome {
+    /// The GPU the target ran on (for the document envelope).
+    pub gpu: &'static str,
     /// Human-readable report (gap decomposition + profile tables).
     pub text: String,
     /// `peakperf-profile-v1` JSON object for this target.
@@ -141,7 +143,12 @@ pub fn run_target(name: &str, capture_trace: bool) -> Result<ProfileOutcome, Sim
     let json = render_json(name, &prepared, &gap, &profile);
     let chrome =
         buffer.map(|b| chrome_trace(&b, &prepared.kernel, prepared.gpu.warp_schedulers_per_sm));
-    Ok(ProfileOutcome { text, json, chrome })
+    Ok(ProfileOutcome {
+        gpu: prepared.gpu.name,
+        text,
+        json,
+        chrome,
+    })
 }
 
 struct PreparedTarget {
@@ -431,10 +438,13 @@ fn render_json(
 
 /// Wrap rendered target objects into the `peakperf-profile-v1` document
 /// written by `--profile-out` (and validated in CI against
-/// `scripts/trace_schema.json`).
-pub fn profile_document(profiles: &[String]) -> String {
+/// `scripts/trace_schema.json`). `gpus` lists the GPUs the profiled
+/// targets ran on, for the shared document envelope.
+pub fn profile_document(profiles: &[String], gpus: &[&str]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"peakperf-profile-v1\",\n  \"stall_kinds\": [");
+    out.push_str("{\n");
+    out.push_str(&crate::report::envelope_json("peakperf-profile-v1", gpus));
+    out.push_str("  \"stall_kinds\": [");
     for (i, kind) in StallKind::ALL.into_iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -480,8 +490,10 @@ mod tests {
 
     #[test]
     fn profile_document_is_balanced() {
-        let doc = profile_document(&["{\"target\": \"t\"}".to_owned()]);
+        let doc = profile_document(&["{\"target\": \"t\"}".to_owned()], &["GTX680"]);
         assert!(doc.contains("peakperf-profile-v1"));
+        assert!(doc.contains("\"generated_by\": \"peakperf-bench"));
+        assert!(doc.contains("\"gpu\": [\"GTX680\"]"));
         assert!(doc.contains("\"scoreboard\""));
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }

@@ -1,4 +1,64 @@
-//! Minimal fixed-width table formatting for the experiment reports.
+//! Minimal fixed-width table formatting for the experiment reports, plus
+//! the shared pieces of every versioned JSON document this crate emits
+//! (string/number encoding and the common document envelope).
+
+use std::fmt::Write as _;
+
+/// The producing crate and version, stamped into every JSON document.
+pub const GENERATED_BY: &str = concat!("peakperf-bench ", env!("CARGO_PKG_VERSION"));
+
+/// The two GPUs the paper (and therefore the default experiment suite)
+/// covers, in report order.
+pub const PAPER_GPUS: [&str; 2] = ["GTX580", "GTX680"];
+
+/// The shared envelope opening each versioned JSON document
+/// (`peakperf-perf-v1`, `peakperf-profile-v1`, `peakperf-fuzz-v1`,
+/// `peakperf-bench-v1`): `schema` id, `generated_by` crate+version, and
+/// the `gpu` list the document covers. Returned as three `  "k": v,`
+/// lines ready to append right after the opening brace.
+pub fn envelope_json(schema: &str, gpus: &[&str]) -> String {
+    let gpu_list = gpus
+        .iter()
+        .map(|g| json_string(g))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "  \"schema\": {},\n  \"generated_by\": {},\n  \"gpu\": [{gpu_list}],\n",
+        json_string(schema),
+        json_string(GENERATED_BY),
+    )
+}
+
+/// A JSON number: finite floats print with enough precision to round-trip;
+/// non-finite values (not expected) degrade to null.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escape a string per RFC 8259.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// A simple text table with a title and aligned columns.
 #[derive(Debug, Clone)]
@@ -122,5 +182,22 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(pct(0.825), "82.5%");
+    }
+
+    #[test]
+    fn envelope_carries_schema_version_and_gpus() {
+        let env = envelope_json("peakperf-bench-v1", &PAPER_GPUS);
+        assert!(env.contains("\"schema\": \"peakperf-bench-v1\""));
+        assert!(env.contains(&format!("\"generated_by\": \"{GENERATED_BY}\"")));
+        assert!(env.contains("\"gpu\": [\"GTX580\", \"GTX680\"]"));
+        assert!(GENERATED_BY.starts_with("peakperf-bench "));
+    }
+
+    #[test]
+    fn string_escaping_covers_controls() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("x\\y"), "\"x\\\\y\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.500");
     }
 }

@@ -1,0 +1,214 @@
+//! End-to-end tests of `reproduce bench`: document determinism, the
+//! self-comparison gate, and the injected-regression gate.
+//!
+//! The tests run a filtered slice of the suite (the three IMUL Table-2
+//! rows) so each binary invocation stays in test-friendly territory; the
+//! full 28-row suite runs in CI against the checked-in baseline.
+
+use std::process::{Command, Output};
+
+use peakperf_bench::json::Json;
+
+const FILTER: &str = "table2/imul";
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("failed to launch reproduce")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("peakperf-bench-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Drop the lines whose values depend on wall-clock measurement. The
+/// emitter keeps each such metric on its own line precisely so this
+/// filter (and any external tooling doing the same) stays a one-liner.
+fn strip_volatile(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| {
+            !(l.contains("\"wall_ms\"")
+                || l.contains("_per_sec\"")
+                || l.contains("\"utilization\""))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn bench_documents_are_deterministic_modulo_wall_time() {
+    let dir = temp_dir("determinism");
+    let a_path = dir.join("a.json");
+    let b_path = dir.join("b.json");
+    for path in [&a_path, &b_path] {
+        let out = reproduce(&[
+            "bench",
+            "--filter",
+            FILTER,
+            "--json",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "bench run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let a = std::fs::read_to_string(&a_path).unwrap();
+    let b = std::fs::read_to_string(&b_path).unwrap();
+    assert_eq!(
+        strip_volatile(&a),
+        strip_volatile(&b),
+        "two bench runs must agree byte-for-byte outside wall-time fields"
+    );
+    let parsed = Json::parse(&a).expect("bench document must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("peakperf-bench-v1")
+    );
+    assert_eq!(
+        parsed.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(3)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_passes_against_its_own_fresh_baseline() {
+    let dir = temp_dir("selfcmp");
+    let baseline = dir.join("baseline.json");
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        FILTER,
+        "--json",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let cmp_out = dir.join("cmp.json");
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        FILTER,
+        "--compare",
+        baseline.to_str().unwrap(),
+        "--compare-out",
+        cmp_out.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "self-comparison must pass: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gate PASS"), "stdout: {text}");
+    let doc = std::fs::read_to_string(&cmp_out).unwrap();
+    assert!(doc.contains("\"peakperf-bench-compare-v1\""));
+    assert!(doc.contains("\"pass\": true"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_gates_injected_drift_and_slowdown() {
+    let dir = temp_dir("drift");
+    let baseline_path = dir.join("baseline.json");
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        FILTER,
+        "--json",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Rewrite the baseline: shift one row's recorded model error by 10
+    // percentage points (the fresh run now *drifts* by 10pp relative to
+    // it) and fabricate a 1 ms wall time for another row (the fresh run
+    // now looks like a massive slowdown).
+    let text = std::fs::read_to_string(&baseline_path).unwrap();
+    let mut doc = Json::parse(&text).unwrap();
+    let rows = match doc.get_mut("rows").unwrap() {
+        Json::Arr(rows) => rows,
+        other => panic!("rows is not an array: {other:?}"),
+    };
+    let drifted_id = rows[0].get("id").unwrap().as_str().unwrap().to_owned();
+    let slowed_id = rows[1].get("id").unwrap().as_str().unwrap().to_owned();
+    let old_err = rows[0].get("pct_error").unwrap().as_f64().unwrap();
+    *rows[0].get_mut("pct_error").unwrap() = Json::Num(old_err - 10.0);
+    *rows[1].get_mut("wall_ms").unwrap() = Json::Num(1.0);
+    std::fs::write(&baseline_path, doc.render()).unwrap();
+
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        FILTER,
+        "--compare",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "injected drift and slowdown must fail the gate"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gate FAIL"), "stdout: {text}");
+    assert!(
+        text.contains(&format!("GATE {drifted_id} pct_error")),
+        "accuracy drift must be named: {text}"
+    );
+    assert!(
+        text.contains(&format!("GATE {slowed_id} wall_ms")),
+        "slowdown must be named: {text}"
+    );
+
+    // The same comparison under a CI-wide wall band still fails, on the
+    // accuracy drift alone: wall noise is forgivable, model drift is not.
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        FILTER,
+        "--compare",
+        baseline_path.to_str().unwrap(),
+        "--wall-band",
+        "10000",
+    ]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(&format!("GATE {drifted_id} pct_error")));
+    assert!(!text.contains(&format!("GATE {slowed_id} wall_ms")));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_rejects_bad_usage() {
+    // Positional arguments are not part of the bench grammar.
+    let out = reproduce(&["bench", "table1"]);
+    assert!(!out.status.success());
+
+    // Bench flags outside the subcommand are rejected.
+    for args in [
+        &["table1", "--compare", "x.json"][..],
+        &["table1", "--compare-out", "x.json"],
+        &["table1", "--filter", "table2/"],
+    ] {
+        let out = reproduce(args);
+        assert!(!out.status.success(), "accepted {args:?}");
+    }
+
+    // A filter matching nothing is an error, not an empty success.
+    let out = reproduce(&["bench", "--filter", "nonexistent/"]);
+    assert!(!out.status.success());
+
+    // A missing or non-bench baseline is a comparison error.
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        FILTER,
+        "--compare",
+        "/nonexistent/baseline.json",
+    ]);
+    assert!(!out.status.success());
+}

@@ -65,7 +65,7 @@ pub use error::{HangSnapshot, SimError, WarpHang};
 pub use func::Gpu;
 pub use launch::{Dim3, LaunchConfig};
 pub use mem::GlobalMemory;
-pub use stats::{Counters, FuncStats, InstMix};
+pub use stats::{with_counter_scope, Counters, FuncStats, InstMix};
 pub use warp::{StepEvent, WarpState};
 
 // The parallel experiment executor in `peakperf-bench` moves simulator

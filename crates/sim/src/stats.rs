@@ -1,5 +1,6 @@
 //! Execution statistics.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +85,73 @@ impl Counters {
     pub fn stalled_cycles(&self) -> u64 {
         self.stall_cycles.iter().sum()
     }
+
+    /// Add another counter record into this one.
+    pub fn accumulate(&mut self, other: &Counters) {
+        self.timing_runs += other.timing_runs;
+        self.sim_cycles += other.sim_cycles;
+        self.warp_instructions += other.warp_instructions;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        for (slot, n) in self.stall_cycles.iter_mut().zip(other.stall_cycles) {
+            *slot += n;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-run counter scopes
+// ---------------------------------------------------------------------
+
+// The process-wide counters above are shared by every thread, so two
+// experiments running concurrently on the parallel executor interleave
+// their cache-hit/run counts and neither can be attributed. Counter
+// scopes solve attribution without giving up the global view: every
+// `record_*` call *also* adds to each scope active on the calling thread,
+// and [`with_counter_scope`] hands the accumulated delta back to the
+// caller. Scopes nest (an inner scope's work counts toward the outer one
+// too) and are strictly thread-local: work a closure hands to *other*
+// threads is only visible to their own scopes, which is exactly the
+// executor-boundary contract of `peakperf-bench::exec` — one job runs
+// entirely on one worker thread.
+thread_local! {
+    static SCOPES: RefCell<Vec<Counters>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` and return its result together with the simulation-counter
+/// growth produced *by the calling thread* while `f` ran.
+///
+/// Unlike a global [`Counters::snapshot`]/[`Counters::delta_since`] pair,
+/// the delta is unaffected by concurrent work on other threads, so
+/// per-experiment cache-hit/miss and run counts stay attributable under
+/// the parallel executor. The process-global counters are updated as
+/// before.
+pub fn with_counter_scope<T>(f: impl FnOnce() -> T) -> (T, Counters) {
+    SCOPES.with(|s| s.borrow_mut().push(Counters::default()));
+    // Pop the scope even if `f` unwinds, so a caught panic (the harness
+    // runs experiments under `catch_unwind`) cannot leave a stale frame
+    // that would misattribute later work on this thread.
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            SCOPES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    let guard = PopOnDrop;
+    let value = f();
+    let delta = SCOPES.with(|s| s.borrow().last().copied().unwrap_or_default());
+    drop(guard);
+    (value, delta)
+}
+
+fn scope_record(f: impl Fn(&mut Counters)) {
+    SCOPES.with(|s| {
+        for frame in s.borrow_mut().iter_mut() {
+            f(frame);
+        }
+    });
 }
 
 pub(crate) fn record_timing_run(report: &crate::timing::TimingReport) {
@@ -93,14 +161,24 @@ pub(crate) fn record_timing_run(report: &crate::timing::TimingReport) {
     for (&kind, &n) in &report.stalls {
         STALL_CYCLES[kind.index()].fetch_add(n, Ordering::Relaxed);
     }
+    scope_record(|c| {
+        c.timing_runs += 1;
+        c.sim_cycles += report.cycles;
+        c.warp_instructions += report.warp_instructions;
+        for (&kind, &n) in &report.stalls {
+            c.stall_cycles[kind.index()] += n;
+        }
+    });
 }
 
 pub(crate) fn record_cache_hit() {
     CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    scope_record(|c| c.cache_hits += 1);
 }
 
 pub(crate) fn record_cache_miss() {
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    scope_record(|c| c.cache_misses += 1);
 }
 
 /// Instruction-mix counters, keyed by mnemonic.
@@ -266,6 +344,58 @@ mod tests {
         m.record(&lds64(), 3);
         assert_eq!(m.count_prefix("LDS"), 3);
         assert_eq!(m.count("LDS"), 0);
+    }
+
+    #[test]
+    fn counter_scopes_attribute_per_thread_and_nest() {
+        let ((), outer) = with_counter_scope(|| {
+            record_cache_hit();
+            let ((), inner) = with_counter_scope(|| {
+                record_cache_miss();
+                // Work on another thread is attributed to that thread's
+                // scopes (none here), not to ours.
+                std::thread::scope(|s| {
+                    s.spawn(record_cache_hit);
+                });
+            });
+            assert_eq!(inner.cache_misses, 1);
+            assert_eq!(inner.cache_hits, 0);
+        });
+        // The outer scope saw its own hit plus the nested scope's miss,
+        // but not the other thread's hit.
+        assert_eq!(outer.cache_hits, 1);
+        assert_eq!(outer.cache_misses, 1);
+    }
+
+    #[test]
+    fn counter_scope_pops_on_unwind() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| {
+            let _ = with_counter_scope(|| panic!("boom"));
+        });
+        std::panic::set_hook(hook);
+        assert!(caught.is_err());
+        // No stale frame: later work on this thread is not attributed to
+        // the unwound scope (a stale frame would double-count into it).
+        let ((), delta) = with_counter_scope(record_cache_hit);
+        assert_eq!(delta.cache_hits, 1);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = Counters {
+            timing_runs: 1,
+            sim_cycles: 10,
+            ..Counters::default()
+        };
+        let mut b = Counters::default();
+        b.stall_cycles[0] = 4;
+        b.cache_hits = 2;
+        a.accumulate(&b);
+        assert_eq!(a.timing_runs, 1);
+        assert_eq!(a.stall_cycles[0], 4);
+        assert_eq!(a.cache_hits, 2);
     }
 
     #[test]

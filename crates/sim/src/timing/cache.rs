@@ -190,6 +190,11 @@ pub fn disable_global() {
     ENABLED.store(false, Ordering::Release);
 }
 
+/// Whether the process-wide cache is currently enabled.
+pub fn global_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
 /// The active process-wide cache, or `None` when disabled.
 pub(crate) fn active() -> Option<&'static SimCache> {
     if ENABLED.load(Ordering::Acquire) {

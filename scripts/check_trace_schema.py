@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Validate `reproduce profile` JSON output against the checked-in schema.
+"""Validate `reproduce` JSON output against the checked-in schemas.
 
 Usage:
     scripts/check_trace_schema.py --profile profile.json [--trace trace.json]
+    scripts/check_trace_schema.py --bench bench.json
 
 Checks, for the peakperf-profile-v1 document:
   * required keys and their types (scripts/trace_schema.json);
@@ -15,6 +16,15 @@ Checks, for the peakperf-profile-v1 document:
 For the Chrome trace: required top-level keys, event shape on a sample of
 events, and that every stall event names a known stall kind.
 
+For the peakperf-bench-v1 document (scripts/bench_schema.json):
+  * required keys and their types, on the envelope and on every row;
+  * per-row stall_cycles / stall_share keys match the schema's stall
+    kinds;
+  * full-suite coverage — every Table-2 row and all eight SGEMM
+    GPU x variant rows must be present (the telemetry acceptance
+    criterion), with unique row ids;
+  * per-row invariant: pct_error is consistent with simulated vs paper.
+
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
 
@@ -24,6 +34,7 @@ import os
 import sys
 
 SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
+BENCH_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "bench_schema.json")
 
 TYPES = {
     "str": str,
@@ -89,6 +100,73 @@ def check_profile_document(doc, schema, errors):
                     errors.append(f"{where}.{key}: unknown gap source {label!r}")
 
 
+def check_bench_document(doc, schema, errors):
+    check_required(doc, schema["bench_document"]["required"], "bench document", errors)
+    if doc.get("schema") != schema["bench_schema"]:
+        errors.append(
+            f"bench document: schema is {doc.get('schema')!r}, "
+            f"expected {schema['bench_schema']!r}"
+        )
+    kinds = schema["stall_kinds"]
+    accuracy = doc.get("accuracy")
+    if isinstance(accuracy, dict):
+        check_required(
+            accuracy, schema["bench_accuracy"]["required"], "bench accuracy", errors
+        )
+    if isinstance(doc.get("totals"), dict):
+        check_required(
+            doc["totals"], schema["bench_counters"]["required"], "bench totals", errors
+        )
+
+    rows = doc.get("rows", [])
+    seen_ids = []
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        check_required(row, schema["bench_row"]["required"], where, errors)
+        row_id = row.get("id")
+        if isinstance(row_id, str):
+            seen_ids.append(row_id)
+            where = f"rows[{i}] ({row_id})"
+        counters = row.get("counters")
+        if isinstance(counters, dict):
+            check_required(
+                counters, schema["bench_counters"]["required"], f"{where}.counters", errors
+            )
+            stalls = counters.get("stall_cycles")
+            if isinstance(stalls, dict) and list(stalls.keys()) != kinds:
+                errors.append(
+                    f"{where}.counters.stall_cycles keys drifted from the schema's "
+                    f"stall kinds: {list(stalls.keys())}"
+                )
+        share = row.get("stall_share")
+        if isinstance(share, dict) and list(share.keys()) != kinds:
+            errors.append(
+                f"{where}.stall_share keys drifted from the schema's "
+                f"stall kinds: {list(share.keys())}"
+            )
+        simulated, paper, pct = row.get("simulated"), row.get("paper"), row.get("pct_error")
+        if all(isinstance(v, (int, float)) for v in (simulated, paper, pct)) and paper:
+            want = 100.0 * (simulated - paper) / paper
+            if abs(want - pct) > 0.01:
+                errors.append(
+                    f"{where}: pct_error {pct} inconsistent with "
+                    f"simulated {simulated} vs paper {paper} (want {want:.3f})"
+                )
+
+    if len(seen_ids) != len(set(seen_ids)):
+        dupes = sorted({i for i in seen_ids if seen_ids.count(i) > 1})
+        errors.append(f"bench document: duplicate row ids {dupes}")
+    table2 = [i for i in seen_ids if i.startswith("table2/")]
+    if len(table2) != schema["expected_table2_rows"]:
+        errors.append(
+            f"bench document: {len(table2)} table2 rows, "
+            f"expected {schema['expected_table2_rows']} (full Table-2 coverage)"
+        )
+    missing = [i for i in schema["expected_sgemm_ids"] if i not in seen_ids]
+    if missing:
+        errors.append(f"bench document: missing SGEMM rows {missing}")
+
+
 def check_chrome_trace(doc, schema, errors):
     spec = schema["chrome_trace"]
     check_required(doc, spec["required"], "chrome trace", errors)
@@ -116,9 +194,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", help="peakperf-profile-v1 document to validate")
     parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--bench", help="peakperf-bench-v1 document to validate")
     args = parser.parse_args()
-    if not args.profile and not args.trace:
-        parser.error("nothing to validate: pass --profile and/or --trace")
+    if not args.profile and not args.trace and not args.bench:
+        parser.error("nothing to validate: pass --profile, --trace, and/or --bench")
 
     with open(SCHEMA_PATH, encoding="utf-8") as f:
         schema = json.load(f)
@@ -130,13 +209,18 @@ def main():
     if args.trace:
         with open(args.trace, encoding="utf-8") as f:
             check_chrome_trace(json.load(f), schema, errors)
+    if args.bench:
+        with open(BENCH_SCHEMA_PATH, encoding="utf-8") as f:
+            bench_schema = json.load(f)
+        with open(args.bench, encoding="utf-8") as f:
+            check_bench_document(json.load(f), bench_schema, errors)
 
     if errors:
         print(f"schema check FAILED ({len(errors)} violation(s)):", file=sys.stderr)
         for e in errors:
             print(f"  - {e}", file=sys.stderr)
         return 1
-    checked = " and ".join(p for p in (args.profile, args.trace) if p)
+    checked = " and ".join(p for p in (args.profile, args.trace, args.bench) if p)
     print(f"schema check OK: {checked}")
     return 0
 
