@@ -9,6 +9,7 @@
 //! reproduce bench [--json <path>] [--compare <baseline.json>]
 //!                 [--compare-out <path>] [--wall-band <f>] [--acc-band <f>]
 //!                 [--filter <prefix>]
+//! reproduce hostprof <target>... [--json <path>]
 //!
 //! options:
 //!   --full               simulate the full problem sizes
@@ -18,6 +19,9 @@
 //!   --no-cache           disable the in-memory timing cache
 //!   --cache-dir <path>   persist timing-cache entries under <path>
 //!   --json <path>        write a machine-readable run report to <path>
+//!   --metrics-out <path> enable the perfmon registry and dump it as a
+//!                        peakperf-metrics-v1 document alongside the
+//!                        primary output (any subcommand)
 //!
 //! profile options:
 //!   --trace-out <path>   write a Chrome trace-event JSON (Perfetto /
@@ -45,6 +49,11 @@
 //!                        model error (default 0.5)
 //!   --filter <prefix>    run only suite rows whose id starts with
 //!                        <prefix> (e.g. `table2/` or `sgemm/gtx680`)
+//!
+//! hostprof options:
+//!   --json <path>        write the peakperf-hostprof-v1 document (host
+//!                        wall-time attribution, idle-run histograms, and
+//!                        the projected simulator speedup per target)
 //! ```
 //!
 //! Experiment names are validated up front; a failing (or panicking)
@@ -58,6 +67,7 @@ use peakperf_arch::Generation;
 use peakperf_bench::exec;
 use peakperf_bench::experiments::{self, Speed};
 use peakperf_bench::fault;
+use peakperf_bench::hostprof;
 use peakperf_bench::json::Json;
 use peakperf_bench::perf::{PerfSpan, RunReport};
 use peakperf_bench::profiling;
@@ -66,13 +76,14 @@ use peakperf_bench::telemetry;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: reproduce [--full|--quick] [--workers <n>] [--no-cache] \
-         [--cache-dir <path>] [--json <path>] <experiment>...\n\
+         [--cache-dir <path>] [--json <path>] [--metrics-out <path>] <experiment>...\n\
          \x20      reproduce profile [--trace-out <path>] [--profile-out <path>] \
          [--json <path>] <target>...\n\
          \x20      reproduce fuzz [--seed <n>] [--iters <n>] [--gpu <gen>]... \
          [--corpus-dir <path>] [--replay <dir>] [--json <path>]\n\
          \x20      reproduce bench [--json <path>] [--compare <baseline.json>] \
          [--compare-out <path>] [--wall-band <f>] [--acc-band <f>] [--filter <prefix>]\n\
+         \x20      reproduce hostprof [--json <path>] <target>...\n\
          experiments: {} all\n\
          profile targets: {}",
         ALL.join(" "),
@@ -145,6 +156,8 @@ struct Options {
     compare_out: Option<String>,
     bench_filter: Option<String>,
     compare_config: telemetry::CompareConfig,
+    hostprof_mode: bool,
+    metrics_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -168,6 +181,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         compare_out: None,
         bench_filter: None,
         compare_config: telemetry::CompareConfig::default(),
+        hostprof_mode: false,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -191,6 +206,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => {
                 let v = it.next().ok_or("--json needs a value")?;
                 opts.json_path = Some(v.clone());
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a value")?;
+                opts.metrics_out = Some(v.clone());
             }
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out needs a value")?;
@@ -264,19 +283,39 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
             }
-            "profile" if opts.names.is_empty() && !opts.profile_mode && !opts.fuzz_mode => {
+            "profile"
+                if opts.names.is_empty()
+                    && !opts.profile_mode
+                    && !opts.fuzz_mode
+                    && !opts.hostprof_mode =>
+            {
                 opts.profile_mode = true;
             }
-            "fuzz" if opts.names.is_empty() && !opts.profile_mode && !opts.fuzz_mode => {
+            "fuzz"
+                if opts.names.is_empty()
+                    && !opts.profile_mode
+                    && !opts.fuzz_mode
+                    && !opts.hostprof_mode =>
+            {
                 opts.fuzz_mode = true;
             }
             "bench"
                 if opts.names.is_empty()
                     && !opts.profile_mode
                     && !opts.fuzz_mode
-                    && !opts.bench_mode =>
+                    && !opts.bench_mode
+                    && !opts.hostprof_mode =>
             {
                 opts.bench_mode = true;
+            }
+            "hostprof"
+                if opts.names.is_empty()
+                    && !opts.profile_mode
+                    && !opts.fuzz_mode
+                    && !opts.bench_mode
+                    && !opts.hostprof_mode =>
+            {
+                opts.hostprof_mode = true;
             }
             other => opts.names.push(other.to_owned()),
         }
@@ -308,6 +347,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.corpus_dir.is_some() || opts.replay_dir.is_some() {
         return Err("--corpus-dir/--replay require the `fuzz` subcommand".to_owned());
+    }
+    if opts.hostprof_mode {
+        if opts.trace_out.is_some() || opts.profile_out.is_some() {
+            return Err("--trace-out/--profile-out require the `profile` subcommand".to_owned());
+        }
+        let known: Vec<&str> = profiling::TARGETS.iter().map(|t| t.name).collect();
+        if opts.names.is_empty() {
+            return Err(format!(
+                "hostprof needs at least one target; known: {}",
+                known.join(" ")
+            ));
+        }
+        let unknown: Vec<&str> = opts
+            .names
+            .iter()
+            .map(String::as_str)
+            .filter(|n| !known.contains(n))
+            .collect();
+        if !unknown.is_empty() {
+            return Err(format!(
+                "unknown hostprof target{} {}; known: {}",
+                if unknown.len() > 1 { "s" } else { "" },
+                unknown.join(", "),
+                known.join(" ")
+            ));
+        }
+        return Ok(opts);
     }
     if opts.profile_mode {
         let known: Vec<&str> = profiling::TARGETS.iter().map(|t| t.name).collect();
@@ -509,6 +575,77 @@ fn run_fuzz(opts: &Options) -> ExitCode {
     }
 }
 
+/// Run the `hostprof` subcommand: each target simulates under a perfmon
+/// probe, prints its wall-time attribution + opportunity analysis, and
+/// contributes a `peakperf-hostprof-v1` object to `--json`.
+fn run_hostprof(opts: &Options) -> ExitCode {
+    let mut failures = 0u32;
+    let mut jsons: Vec<String> = Vec::new();
+    let mut gpus: Vec<&'static str> = Vec::new();
+    for name in &opts.names {
+        let t0 = Instant::now();
+        // Panic boundary: a crashing target becomes a failure, not a
+        // torn-down run.
+        let outcome = exec::run_isolated(|| hostprof::run_target(name).map_err(|e| e.to_string()));
+        match outcome {
+            Ok(out) => {
+                println!("{}", out.text);
+                jsons.push(out.json);
+                if !gpus.contains(&out.gpu) {
+                    gpus.push(out.gpu);
+                }
+                eprintln!("[hostprof:{name} done in {:.1?}]", t0.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error in hostprof {name}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = &opts.json_path {
+        let doc = hostprof::hostprof_document(&jsons, &gpus);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: could not write hostprof document to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[hostprof document written to {path}]");
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Write the perfmon registry dump requested with `--metrics-out`;
+/// returns the number of failures (0 or 1).
+fn write_metrics(opts: &Options) -> u32 {
+    let Some(path) = &opts.metrics_out else {
+        return 0;
+    };
+    let doc = hostprof::metrics_document(&peakperf_bench::report::PAPER_GPUS);
+    match std::fs::write(path, doc) {
+        Ok(()) => {
+            eprintln!("[metrics written to {path}]");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: could not write metrics to {path}: {e}");
+            1
+        }
+    }
+}
+
+/// Dump the perfmon registry (when requested) on the way out of a mode.
+fn with_metrics(opts: &Options, code: ExitCode) -> ExitCode {
+    if write_metrics(opts) > 0 {
+        ExitCode::FAILURE
+    } else {
+        code
+    }
+}
+
 /// Run the `bench` subcommand: the fixed telemetry suite, optionally
 /// written as a `peakperf-bench-v1` document and/or gated against a
 /// checked-in baseline.
@@ -574,8 +711,16 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    // `--metrics-out` opts any run into the perfmon registry; `hostprof`
+    // is observability by definition, so it always records.
+    if opts.metrics_out.is_some() || opts.hostprof_mode {
+        peakperf_sim::perfmon::enable();
+    }
     if opts.fuzz_mode {
-        return run_fuzz(&opts);
+        return with_metrics(&opts, run_fuzz(&opts));
+    }
+    if opts.hostprof_mode {
+        return with_metrics(&opts, run_hostprof(&opts));
     }
     if opts.bench_mode {
         if opts.use_cache {
@@ -583,7 +728,7 @@ fn main() -> ExitCode {
                 opts.cache_dir.clone().map(std::path::PathBuf::from),
             );
         }
-        return run_bench(&opts);
+        return with_metrics(&opts, run_bench(&opts));
     }
     if opts.names.is_empty() {
         return usage();
@@ -611,11 +756,12 @@ fn main() -> ExitCode {
                 failures += 1;
             }
         }
-        return if failures > 0 {
+        let code = if failures > 0 {
             ExitCode::FAILURE
         } else {
             ExitCode::SUCCESS
         };
+        return with_metrics(&opts, code);
     }
     for name in &opts.names {
         let span = PerfSpan::begin();
@@ -647,9 +793,10 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
-    if failures > 0 {
+    let code = if failures > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
-    }
+    };
+    with_metrics(&opts, code)
 }

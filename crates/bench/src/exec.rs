@@ -176,10 +176,26 @@ impl Executor {
         E: Send,
         F: Fn(&I) -> Result<T, E> + Sync,
     {
+        // Queue-wait is measured from batch entry to the moment a worker
+        // claims the job: with enough workers it stays near zero, and it
+        // grows with the serial tail when jobs outnumber workers — the
+        // executor-level signal surfaced through the perfmon registry.
+        let batch_t0 = Instant::now();
         let run = |item: &I| -> Result<T, E> {
             let t0 = Instant::now();
+            if peakperf_sim::perfmon::enabled() {
+                peakperf_sim::perfmon::counter_add(
+                    "executor.queue_wait_ns",
+                    t0.duration_since(batch_t0).as_nanos() as u64,
+                );
+            }
             let result = f(item);
-            record_job(t0.elapsed());
+            let elapsed = t0.elapsed();
+            record_job(elapsed);
+            if peakperf_sim::perfmon::enabled() {
+                peakperf_sim::perfmon::counter_add("executor.jobs", 1);
+                peakperf_sim::perfmon::counter_add("executor.busy_ns", elapsed.as_nanos() as u64);
+            }
             result
         };
 

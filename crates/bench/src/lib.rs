@@ -10,6 +10,7 @@ pub mod exec;
 pub mod experiments;
 pub mod fault;
 pub mod harness;
+pub mod hostprof;
 pub mod json;
 pub mod perf;
 pub mod profiling;

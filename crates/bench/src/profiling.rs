@@ -151,13 +151,13 @@ pub fn run_target(name: &str, capture_trace: bool) -> Result<ProfileOutcome, Sim
     })
 }
 
-struct PreparedTarget {
-    gpu: GpuConfig,
-    kernel: Kernel,
-    config: LaunchConfig,
-    params: Vec<u32>,
-    resident: u32,
-    memory: GlobalMemory,
+pub(crate) struct PreparedTarget {
+    pub(crate) gpu: GpuConfig,
+    pub(crate) kernel: Kernel,
+    pub(crate) config: LaunchConfig,
+    pub(crate) params: Vec<u32>,
+    pub(crate) resident: u32,
+    pub(crate) memory: GlobalMemory,
     basis: RateBasis,
 }
 
@@ -223,7 +223,7 @@ fn sgemm_target(gpu: GpuConfig) -> Result<PreparedTarget, SimError> {
     })
 }
 
-fn prepare(name: &str) -> Result<PreparedTarget, SimError> {
+pub(crate) fn prepare(name: &str) -> Result<PreparedTarget, SimError> {
     let patterns = table2_patterns();
     let ipc = |mnemonic, bound, paper| RateBasis::ThreadIpc {
         mnemonic,

@@ -40,6 +40,7 @@ use peakperf_arch::GpuConfig;
 use peakperf_bound::paper_reference;
 use peakperf_kernels::microbench::math::{table2_patterns, MathPattern};
 use peakperf_kernels::sgemm::{Preset, Variant};
+use peakperf_sim::perfmon::MetricsSnapshot;
 use peakperf_sim::timing::StallKind;
 use peakperf_sim::{Counters, SimError};
 
@@ -178,6 +179,10 @@ pub struct BenchReport {
     pub wall: Duration,
     /// Executor job statistics over the suite.
     pub jobs: JobStats,
+    /// Perfmon registry growth over the suite, when the registry was
+    /// enabled (`--metrics-out`); `None` otherwise, and the JSON document
+    /// is byte-identical to one from a build without perfmon.
+    pub perfmon: Option<MetricsSnapshot>,
 }
 
 impl BenchReport {
@@ -198,6 +203,21 @@ impl BenchReport {
             0.0
         } else {
             t.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Timing-cache hit rate as the perfmon registry saw it: `hits /
+    /// lookups` from the `timing_cache.*` counters. `None` when perfmon
+    /// was off or no lookup was instrumented. Cross-checks
+    /// [`BenchReport::cache_hit_rate`], which derives the same ratio from
+    /// the independent simulation-counter path.
+    pub fn perfmon_cache_hit_rate(&self) -> Option<f64> {
+        let pm = self.perfmon.as_ref()?;
+        let lookups = pm.get("timing_cache.lookups");
+        if lookups == 0 {
+            None
+        } else {
+            Some(pm.get("timing_cache.hits") as f64 / lookups as f64)
         }
     }
 
@@ -283,6 +303,24 @@ impl BenchReport {
             Self::per_sec(totals.warp_instructions, self.wall) / 1e6,
             100.0 * self.cache_hit_rate(),
         );
+        if let Some(pm) = &self.perfmon {
+            let cross = match self.perfmon_cache_hit_rate() {
+                Some(rate) => format!(
+                    "cache {} lookups at {:.1}% hits (counter path: {:.1}%)",
+                    pm.get("timing_cache.lookups"),
+                    100.0 * rate,
+                    100.0 * self.cache_hit_rate(),
+                ),
+                None => "no instrumented cache lookups".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "perfmon:  {cross}, {} stores, queue wait {:.1} ms over {} jobs",
+                pm.get("timing_cache.stores"),
+                pm.get("executor.queue_wait_ns") as f64 / 1e6,
+                pm.get("executor.jobs"),
+            );
+        }
         out
     }
 
@@ -315,6 +353,31 @@ impl BenchReport {
             "  \"cache_hit_rate\": {},",
             json_f64(self.cache_hit_rate())
         );
+        if let Some(pm) = &self.perfmon {
+            // Wall-time counters (`*_ns`) render as `*_wall_ms` so they sit
+            // under the same volatile-field naming rule as everything else;
+            // plain counts are deterministic and keep their registry names.
+            out.push_str("  \"perfmon\": {");
+            for (i, (name, value)) in pm.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match name.strip_suffix("_ns") {
+                    Some(prefix) => {
+                        let _ = write!(
+                            out,
+                            "\n    \"{}_wall_ms\": {}",
+                            prefix,
+                            json_f64(value as f64 / 1e6)
+                        );
+                    }
+                    None => {
+                        let _ = write!(out, "\n    \"{name}\": {value}");
+                    }
+                }
+            }
+            out.push_str("\n  },\n");
+        }
         let _ = writeln!(
             out,
             "  \"accuracy\": {{\"rows\": {}, \"mean_abs_pct_error\": {}, \
@@ -451,10 +514,12 @@ pub fn run_suite_filtered(filter: Option<&str>) -> Result<BenchReport, SimError>
     }
     let executor = Executor::auto();
     let jobs_before = JobStats::snapshot();
+    let perf_before = peakperf_sim::perfmon::enabled().then(peakperf_sim::perfmon::snapshot);
     let t0 = Instant::now();
     let results = executor.try_map_scoped(&specs, run_row)?;
     let wall = t0.elapsed();
     let jobs = JobStats::snapshot().delta_since(&jobs_before);
+    let perfmon = perf_before.map(|before| peakperf_sim::perfmon::snapshot().delta_since(&before));
     let rows = results
         .into_iter()
         .map(|((mut row, row_wall), counters)| {
@@ -469,6 +534,7 @@ pub fn run_suite_filtered(filter: Option<&str>) -> Result<BenchReport, SimError>
         rows,
         wall,
         jobs,
+        perfmon,
     })
 }
 
@@ -949,7 +1015,39 @@ mod tests {
                 jobs: 2,
                 busy_nanos: 50_000_000,
             },
+            perfmon: None,
         }
+    }
+
+    #[test]
+    fn perfmon_section_is_absent_by_default_and_volatile_when_present() {
+        let mut report = sample_report();
+        assert!(!report.to_json().contains("perfmon"));
+        assert_eq!(report.perfmon_cache_hit_rate(), None);
+
+        report.perfmon = Some(MetricsSnapshot::from_iter([
+            ("executor.jobs", 2),
+            ("executor.queue_wait_ns", 1_500_000),
+            ("timing_cache.hits", 3),
+            ("timing_cache.lookups", 4),
+            ("timing_cache.lookup_ns", 2_000_000),
+        ]));
+        let json = report.to_json();
+        // Wall-time counters turn into `*_wall_ms` volatile lines; counts
+        // keep their registry names.
+        assert!(json.contains("\"executor.queue_wait_wall_ms\": 1.500"));
+        assert!(json.contains("\"timing_cache.lookup_wall_ms\": 2.000"));
+        assert!(json.contains("\"executor.jobs\": 2"));
+        assert!(!json.contains("_ns\""));
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("perfmon").unwrap().get("timing_cache.hits"),
+            Some(&Json::Num(3.0))
+        );
+        // The registry-side hit rate cross-checks the counter-side one.
+        assert_eq!(report.perfmon_cache_hit_rate(), Some(0.75));
+        assert!(report.render_text().contains("counter path:"));
+        assert!(report.render_text().contains("75.0% hits"));
     }
 
     #[test]

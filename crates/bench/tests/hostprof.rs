@@ -1,0 +1,219 @@
+//! End-to-end tests of `reproduce hostprof` and `--metrics-out`: document
+//! determinism modulo wall-time fields, schema coherence of the emitted
+//! `peakperf-hostprof-v1` document, and the opt-in nature of the perfmon
+//! section in `peakperf-bench-v1` documents.
+//!
+//! The tests use the cheapest profiling target (`fermi_ffma`) and the
+//! three-row IMUL bench filter so each binary invocation stays quick; the
+//! SGEMM hostprof targets run in CI and feed EXPERIMENTS.md.
+
+use std::process::{Command, Output};
+
+use peakperf_bench::json::Json;
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("failed to launch reproduce")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("peakperf-hostprof-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Drop the lines whose values depend on wall-clock measurement — the
+/// same one-liner as the bench determinism test; hostprof keeps every
+/// volatile value (including the per-phase share, which rides on the
+/// `wall_ms` line) under the same naming rule.
+fn strip_volatile(doc: &str) -> String {
+    doc.lines()
+        .filter(|l| {
+            !(l.contains("\"wall_ms\"")
+                || l.contains("_per_sec\"")
+                || l.contains("\"utilization\""))
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn hostprof_document_is_deterministic_modulo_wall_time() {
+    let dir = temp_dir("determinism");
+    let a_path = dir.join("a.json");
+    let b_path = dir.join("b.json");
+    for path in [&a_path, &b_path] {
+        let out = reproduce(&["hostprof", "fermi_ffma", "--json", path.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "hostprof run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("== hostprof: fermi_ffma (GTX580) =="));
+        assert!(stdout.contains("projected speedup"));
+    }
+    let a = std::fs::read_to_string(&a_path).unwrap();
+    let b = std::fs::read_to_string(&b_path).unwrap();
+    assert_eq!(
+        strip_volatile(&a),
+        strip_volatile(&b),
+        "two hostprof runs must agree byte-for-byte outside wall-time fields"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hostprof_document_is_schema_coherent() {
+    let dir = temp_dir("schema");
+    let path = dir.join("hostprof.json");
+    let out = reproduce(&["hostprof", "fermi_ffma", "--json", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "hostprof run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).unwrap();
+    let parsed = Json::parse(&doc).expect("hostprof document must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("peakperf-hostprof-v1")
+    );
+    let phases = parsed.get("phases").and_then(Json::as_arr).unwrap();
+    assert_eq!(phases.len(), 7);
+
+    let targets = parsed.get("targets").and_then(Json::as_arr).unwrap();
+    assert_eq!(targets.len(), 1);
+    let target = &targets[0];
+    assert_eq!(
+        target.get("target").and_then(Json::as_str),
+        Some("fermi_ffma")
+    );
+    assert_eq!(target.get("gpu").and_then(Json::as_str), Some("GTX580"));
+    assert!(target.get("cycles").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // Per-phase wall shares must partition the run: they sum to ~100 %
+    // (each share rounds to 3 decimals, so allow 7 half-ULPs of slack).
+    let target_phases = target.get("phases").and_then(Json::as_arr).unwrap();
+    assert_eq!(target_phases.len(), 7);
+    let share_sum: f64 = target_phases
+        .iter()
+        .map(|p| p.get("share").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert!(
+        (share_sum - 1.0).abs() < 0.01,
+        "phase shares must sum to ~1.0, got {share_sum}"
+    );
+
+    // The idle-run histograms cover every stall kind plus the
+    // unattributed bucket, and the projection reports usable speedups.
+    let hists = target
+        .get("idle")
+        .and_then(|i| i.get("run_length_histograms"))
+        .unwrap();
+    for key in [
+        "scoreboard",
+        "pipe",
+        "issue_tokens",
+        "barrier",
+        "ctl_stall",
+        "hazard_replay",
+        "unattributed",
+    ] {
+        assert!(hists.get(key).is_some(), "missing histogram for {key}");
+    }
+    let projection = target.get("projection").unwrap();
+    for key in ["idle_skip_speedup", "replay_speedup", "combined_speedup"] {
+        let v = projection.get(key).and_then(Json::as_f64).unwrap();
+        assert!(v >= 1.0, "{key} must be a speedup (>= 1.0), got {v}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hostprof_rejects_missing_and_unknown_targets() {
+    let out = reproduce(&["hostprof"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("hostprof needs at least one target"),
+        "unexpected stderr: {stderr}"
+    );
+
+    let out = reproduce(&["hostprof", "nonesuch"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown hostprof target"),
+        "unexpected stderr: {stderr}"
+    );
+}
+
+#[test]
+fn metrics_out_dumps_the_registry_and_adds_the_bench_perfmon_section() {
+    let dir = temp_dir("metrics");
+    let bench_path = dir.join("bench.json");
+    let metrics_path = dir.join("metrics.json");
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        "table2/imul",
+        "--json",
+        bench_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "bench run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+    let parsed = Json::parse(&metrics).expect("metrics document must parse");
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("peakperf-metrics-v1")
+    );
+    let counters = parsed.get("counters").expect("counters object");
+    let jobs = counters
+        .get("executor.jobs")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(jobs >= 3.0, "three bench rows must record jobs, got {jobs}");
+
+    // The bench document itself grows the perfmon section, with wall-time
+    // counters renamed to the volatile `*_wall_ms` convention.
+    let bench = std::fs::read_to_string(&bench_path).unwrap();
+    let parsed = Json::parse(&bench).expect("bench document must parse");
+    let perfmon = parsed.get("perfmon").expect("perfmon section");
+    assert!(perfmon.get("executor.jobs").is_some());
+    assert!(!bench.contains("_ns\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn default_bench_document_has_no_perfmon_section() {
+    let dir = temp_dir("no-perfmon");
+    let path = dir.join("bench.json");
+    let out = reproduce(&[
+        "bench",
+        "--filter",
+        "table2/imul",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "bench run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        !doc.contains("\"perfmon\""),
+        "default runs must not carry the perfmon section"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -57,6 +57,7 @@ mod exec;
 mod func;
 mod launch;
 mod mem;
+pub mod perfmon;
 mod stats;
 pub mod timing;
 mod warp;

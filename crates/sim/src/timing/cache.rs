@@ -124,26 +124,55 @@ impl SimCache {
     /// Look up a report by key: memory first, then disk (a disk hit is
     /// promoted into memory).
     pub fn lookup(&self, key: u128) -> Option<TimingReport> {
+        if !crate::perfmon::enabled() {
+            return self.lookup_inner(key).map(|(r, _)| r);
+        }
+        let t0 = std::time::Instant::now();
+        let found = self.lookup_inner(key);
+        crate::perfmon::counter_add("timing_cache.lookup_ns", t0.elapsed().as_nanos() as u64);
+        crate::perfmon::counter_add("timing_cache.lookups", 1);
+        match found {
+            Some((r, from_disk)) => {
+                crate::perfmon::counter_add("timing_cache.hits", 1);
+                if from_disk {
+                    crate::perfmon::counter_add("timing_cache.disk_hits", 1);
+                }
+                Some(r)
+            }
+            None => None,
+        }
+    }
+
+    fn lookup_inner(&self, key: u128) -> Option<(TimingReport, bool)> {
         if let Some(r) = lock_recover(&self.mem).get(&key) {
-            return Some(r.clone());
+            return Some((r.clone(), false));
         }
         let path = self.entry_path(key)?;
         let text = std::fs::read_to_string(path).ok()?;
         let report = parse_report(&text)?;
         lock_recover(&self.mem).insert(key, report.clone());
-        Some(report)
+        Some((report, true))
     }
 
     /// Store a report under `key` (in memory, and on disk when configured).
     /// Disk write failures are ignored: the cache is an accelerator, not a
     /// store of record.
     pub fn store(&self, key: u128, report: &TimingReport) {
+        let t0 = if crate::perfmon::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         lock_recover(&self.mem).insert(key, report.clone());
         if let Some(path) = self.entry_path(key) {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
             let _ = std::fs::write(path, serialize_report(report));
+        }
+        if let Some(t0) = t0 {
+            crate::perfmon::counter_add("timing_cache.store_ns", t0.elapsed().as_nanos() as u64);
+            crate::perfmon::counter_add("timing_cache.stores", 1);
         }
     }
 

@@ -6,6 +6,7 @@ use peakperf_arch::{GpuConfig, WARP_SIZE};
 use peakperf_sass::{validate_kernel, CtlInfo, Kernel, Op, OpClass};
 
 use crate::exec::{release_barrier, step_warp, BlockCtx, MemCtx};
+use crate::perfmon::{NoopProbe, PerfProbe, Phase, Stopwatch};
 use crate::timing::conflict::{global_transactions, shared_conflict_factor, SEGMENT_BYTES};
 use crate::timing::trace::{NoopSink, TraceEvent, TraceEventKind, TraceSink, NO_PC};
 use crate::timing::Calibration;
@@ -291,6 +292,32 @@ impl TimingSim {
         memory: &mut GlobalMemory,
         sink: &mut S,
     ) -> Result<TimingReport, SimError> {
+        self.run_probed(memory, sink, &mut NoopProbe)
+    }
+
+    /// Like [`TimingSim::run_traced`], but also streams host-performance
+    /// observations (wall time per scheduler-loop phase, per-cycle issue
+    /// and stall tallies) into `probe`.
+    ///
+    /// Probes, like sinks, are pure observers: the timing result is
+    /// identical with any probe, and with the default [`NoopProbe`] every
+    /// probe site — including its `Instant` reads — compiles away (see
+    /// [`crate::perfmon`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TimingSim::run`].
+    pub fn run_probed<S: TraceSink, P: PerfProbe>(
+        &mut self,
+        memory: &mut GlobalMemory,
+        sink: &mut S,
+        probe: &mut P,
+    ) -> Result<TimingReport, SimError> {
+        let run_t0 = if P::ENABLED {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let threads = self.config.threads_per_block();
         let warps_per_block = self.config.warps_per_block();
         let n_warps = (warps_per_block * self.resident_blocks) as usize;
@@ -412,9 +439,11 @@ impl TimingSim {
                         &mut memif,
                         local_miss_fraction,
                         &mut report,
+                        probe,
                     )? {
                         IssueResult::Issued { pc, lanes } => {
                             if S::ENABLED {
+                                let sw = Stopwatch::start::<P>();
                                 sink.record(TraceEvent {
                                     cycle,
                                     scheduler: sched as u8,
@@ -434,6 +463,7 @@ impl TimingSim {
                                         kind: TraceEventKind::WarpExit,
                                     });
                                 }
+                                sw.stop(probe, Phase::TraceEmit);
                             }
                             issued_from = Some((start + k) % owned.len());
                             // Dual dispatch: try one more instruction from
@@ -451,9 +481,11 @@ impl TimingSim {
                                     &mut memif,
                                     local_miss_fraction,
                                     &mut report,
+                                    probe,
                                 )?;
                                 if S::ENABLED {
                                     if let IssueResult::Issued { pc, lanes } = second {
+                                        let sw = Stopwatch::start::<P>();
                                         sink.record(TraceEvent {
                                             cycle,
                                             scheduler: sched as u8,
@@ -473,6 +505,7 @@ impl TimingSim {
                                                 kind: TraceEventKind::WarpExit,
                                             });
                                         }
+                                        sw.stop(probe, Phase::TraceEmit);
                                     }
                                 }
                             }
@@ -480,7 +513,11 @@ impl TimingSim {
                         }
                         IssueResult::Blocked { kind, pc } => {
                             *report.stalls.entry(kind).or_insert(0) += 1;
+                            if P::ENABLED {
+                                probe.stall(kind);
+                            }
                             if S::ENABLED {
+                                let sw = Stopwatch::start::<P>();
                                 sink.record(TraceEvent {
                                     cycle,
                                     scheduler: sched as u8,
@@ -488,6 +525,7 @@ impl TimingSim {
                                     pc,
                                     kind: TraceEventKind::Stall(kind),
                                 });
+                                sw.stop(probe, Phase::TraceEmit);
                             }
                         }
                         IssueResult::NotReady => {}
@@ -499,6 +537,7 @@ impl TimingSim {
             }
 
             // Barrier release: per block, when every non-done warp waits.
+            let barrier_sw = Stopwatch::start::<P>();
             for (b, block) in blocks.iter().enumerate() {
                 let members: Vec<usize> = (0..n_warps).filter(|&w| slots[w].block == b).collect();
                 let _ = block;
@@ -546,10 +585,18 @@ impl TimingSim {
                 }
             }
 
+            barrier_sw.stop(probe, Phase::BarrierRelease);
+
+            if P::ENABLED {
+                probe.cycle_end(cycle);
+            }
             cycle += 1;
         }
         report.cycles = cycle.max(1);
         crate::stats::record_timing_run(&report);
+        if let Some(t0) = run_t0 {
+            probe.finish(report.cycles, t0.elapsed().as_nanos() as u64);
+        }
         Ok(report)
     }
 
@@ -587,7 +634,7 @@ impl TimingSim {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn try_issue(
+    fn try_issue<P: PerfProbe>(
         &self,
         w: usize,
         cycle: u64,
@@ -600,6 +647,7 @@ impl TimingSim {
         memif: &mut MemIf,
         local_miss_fraction: f64,
         report: &mut TimingReport,
+        probe: &mut P,
     ) -> Result<IssueResult, SimError> {
         let slot = &mut slots[w];
         if slot.done {
@@ -629,6 +677,7 @@ impl TimingSim {
         let meta = &self.meta[pc as usize];
 
         // Scoreboard.
+        let sb_sw = Stopwatch::start::<P>();
         let mut ready = 0u64;
         let mut blocking_hazard = false;
         for r in meta.uses.iter().chain(meta.defs.iter()) {
@@ -657,16 +706,19 @@ impl TimingSim {
                     slot.hazard &= !(1 << r.index());
                 }
                 report.hazard_replays += 1;
+                sb_sw.stop(probe, Phase::Scoreboard);
                 return Ok(IssueResult::Blocked {
                     kind: StallKind::HazardReplay,
                     pc,
                 });
             }
+            sb_sw.stop(probe, Phase::Scoreboard);
             return Ok(IssueResult::Blocked {
                 kind: StallKind::Scoreboard,
                 pc,
             });
         }
+        sb_sw.stop(probe, Phase::Scoreboard);
 
         // Structural pipes.
         let is_mem = matches!(meta.class, OpClass::Mem(_));
@@ -713,7 +765,9 @@ impl TimingSim {
             local_bytes: self.kernel.local_bytes,
             params: &self.params,
         };
+        let fx_sw = Stopwatch::start::<P>();
         let result = step_warp(&self.kernel.code, &mut slot.state, &mut mem_ctx, &block.ctx)?;
+        fx_sw.stop(probe, Phase::FuncExec);
 
         *tokens -= cost;
 
@@ -725,12 +779,18 @@ impl TimingSim {
                 let lanes = slot.state.running_mask().count_ones();
                 report.thread_instructions += u64::from(lanes);
                 report.mix.record(inst, 1);
+                if P::ENABLED {
+                    probe.issue(pc);
+                }
                 return Ok(IssueResult::Issued { pc, lanes });
             }
             StepEvent::Exited => {
                 slot.done = true;
                 report.warp_instructions += 1;
                 report.mix.record(inst, 1);
+                if P::ENABLED {
+                    probe.issue(pc);
+                }
                 return Ok(IssueResult::Issued { pc, lanes: 0 });
             }
             StepEvent::Executed { exec_mask, .. } => {
@@ -770,6 +830,7 @@ impl TimingSim {
 
         let mut result_ready = cycle + u64::from(meta.latency);
         if let Some(access) = &result.mem {
+            let mem_sw = Stopwatch::start::<P>();
             match access.space {
                 peakperf_sass::MemSpace::Shared => {
                     let factor =
@@ -779,6 +840,7 @@ impl TimingSim {
                     report.lds_conflict_cycles += u64::from(occ - base);
                     *ldst_free = ldst_free.max(cycle as f64) + f64::from(occ);
                     result_ready = cycle + u64::from(meta.latency) + u64::from(occ - base);
+                    mem_sw.stop(probe, Phase::BankConflict);
                 }
                 peakperf_sass::MemSpace::Global => {
                     let txns = global_transactions(access.width, &access.addrs);
@@ -790,6 +852,7 @@ impl TimingSim {
                     if !access.store {
                         result_ready = data_at;
                     }
+                    mem_sw.stop(probe, Phase::MemModel);
                 }
                 peakperf_sass::MemSpace::Local => {
                     // Spill traffic: occupies the LD/ST pipe like shared
@@ -808,6 +871,7 @@ impl TimingSim {
                                 .max(data_at);
                         }
                     }
+                    mem_sw.stop(probe, Phase::MemModel);
                 }
             }
         }
@@ -819,6 +883,7 @@ impl TimingSim {
         // (Section 3.2).
         let kepler = self.calib.generation.uses_control_notation();
         let covered = ctl_stall >= 1;
+        let sbu_sw = Stopwatch::start::<P>();
         for r in &meta.defs {
             let idx = r.index() as usize;
             slot.sb_reg[idx] = result_ready;
@@ -835,7 +900,11 @@ impl TimingSim {
         if let Some(p) = meta.def_pred {
             slot.sb_pred[p.index() as usize] = result_ready;
         }
+        sbu_sw.stop(probe, Phase::Scoreboard);
 
+        if P::ENABLED {
+            probe.issue(pc);
+        }
         Ok(IssueResult::Issued {
             pc,
             lanes: issued_lanes,
@@ -1037,6 +1106,45 @@ mod tests {
             }
         );
         assert_eq!(func_err, timing_err);
+    }
+
+    #[test]
+    fn probed_run_is_cycle_identical() {
+        // Probes are pure observers: a HostProf-probed run must produce the
+        // exact report of an unprobed run — the same lock NoopSink has.
+        for gen in [Generation::Fermi, Generation::Kepler] {
+            let kernel = ffma_kernel(gen, 16, 32);
+            let gpu = GpuConfig::preset(gen);
+            let config = LaunchConfig::linear(2, 128);
+
+            let mut mem = GlobalMemory::new();
+            let mut sim = TimingSim::new(&gpu, &kernel, config, &[], 2).unwrap();
+            let plain = sim.run(&mut mem).unwrap();
+
+            let mut mem = GlobalMemory::new();
+            let mut sim = TimingSim::new(&gpu, &kernel, config, &[], 2).unwrap();
+            let mut probe = crate::perfmon::HostProf::new();
+            let probed = sim.run_probed(&mut mem, &mut NoopSink, &mut probe).unwrap();
+
+            assert_eq!(plain.cycles, probed.cycles);
+            assert_eq!(plain.warp_instructions, probed.warp_instructions);
+            assert_eq!(plain.thread_instructions, probed.thread_instructions);
+            assert_eq!(plain.stalls, probed.stalls);
+            assert_eq!(plain.flops, probed.flops);
+
+            // And the probe saw a coherent stream: one cycle_end per
+            // simulated cycle (the final report adds max(1)), stall tallies
+            // matching the report, and wall shares that sum to the total.
+            assert_eq!(probe.cycles(), probed.cycles);
+            let total: u64 = crate::perfmon::Phase::ALL
+                .into_iter()
+                .map(|p| probe.phase_nanos(p))
+                .sum();
+            assert_eq!(total, probe.total_nanos());
+            let a = probe.analyze();
+            assert!(a.idle_cycles <= a.cycles);
+            assert!(a.combined_speedup() >= 1.0);
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 Usage:
     scripts/check_trace_schema.py --profile profile.json [--trace trace.json]
     scripts/check_trace_schema.py --bench bench.json
+    scripts/check_trace_schema.py --hostprof hostprof.json
 
 Checks, for the peakperf-profile-v1 document:
   * required keys and their types (scripts/trace_schema.json);
@@ -25,6 +26,16 @@ For the peakperf-bench-v1 document (scripts/bench_schema.json):
     criterion), with unique row ids;
   * per-row invariant: pct_error is consistent with simulated vs paper.
 
+For the peakperf-hostprof-v1 document (scripts/hostprof_schema.json):
+  * required keys and their types, on the envelope and on every target;
+  * the document's (and every target's) phase list matches the schema's,
+    in order — adding a perfmon Phase without updating the schema fails
+    CI, like a StallKind drift would;
+  * per-target invariants: the per-phase wall shares sum to ~1.0, the
+    idle-run histograms cover every stall kind plus `unattributed` and
+    their run counts sum to idle_runs, skippable_cycles <= idle_cycles <=
+    cycles, and every projection field is a speedup (>= 1.0).
+
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
 
@@ -35,6 +46,7 @@ import sys
 
 SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
 BENCH_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "bench_schema.json")
+HOSTPROF_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "hostprof_schema.json")
 
 TYPES = {
     "str": str,
@@ -167,6 +179,132 @@ def check_bench_document(doc, schema, errors):
         errors.append(f"bench document: missing SGEMM rows {missing}")
 
 
+def check_hostprof_document(doc, schema, errors):
+    check_required(doc, schema["hostprof_document"]["required"], "hostprof document", errors)
+    if doc.get("schema") != schema["hostprof_schema"]:
+        errors.append(
+            f"hostprof document: schema is {doc.get('schema')!r}, "
+            f"expected {schema['hostprof_schema']!r}"
+        )
+    phases = schema["phases"]
+    if doc.get("phases") != phases:
+        errors.append(
+            "hostprof document: phases drifted from scripts/hostprof_schema.json\n"
+            f"  document: {doc.get('phases')}\n"
+            f"  schema:   {phases}\n"
+            "  (update the schema if perfmon::Phase changed on purpose)"
+        )
+    hist_keys = schema["stall_kinds"] + ["unattributed"]
+
+    targets = doc.get("targets", [])
+    if not targets:
+        errors.append("hostprof document: targets is empty")
+    for i, target in enumerate(targets):
+        where = f"targets[{i}]"
+        check_required(target, schema["hostprof_target"]["required"], where, errors)
+        name = target.get("target")
+        if isinstance(name, str):
+            where = f"targets[{i}] ({name})"
+
+        entries = target.get("phases", [])
+        if isinstance(entries, list):
+            names = []
+            share_sum = 0.0
+            for j, entry in enumerate(entries):
+                check_required(
+                    entry, schema["hostprof_phase"]["required"], f"{where}.phases[{j}]", errors
+                )
+                names.append(entry.get("phase"))
+                share = entry.get("share")
+                if isinstance(share, (int, float)):
+                    share_sum += share
+            if names != phases:
+                errors.append(
+                    f"{where}.phases names drifted from the schema's phase list: {names}"
+                )
+            if abs(share_sum - 1.0) > 0.01:
+                errors.append(
+                    f"{where}: phase shares sum to {share_sum:.4f}, "
+                    "expected ~1.0 (shares must partition the wall time)"
+                )
+
+        cycles = target.get("cycles")
+        idle = target.get("idle")
+        if isinstance(idle, dict):
+            check_required(idle, schema["hostprof_idle"]["required"], f"{where}.idle", errors)
+            idle_cycles = idle.get("idle_cycles")
+            skippable = idle.get("skippable_cycles")
+            if isinstance(cycles, int) and isinstance(idle_cycles, int):
+                if idle_cycles > cycles:
+                    errors.append(f"{where}: idle_cycles {idle_cycles} > cycles {cycles}")
+                if isinstance(skippable, int) and skippable > idle_cycles:
+                    errors.append(
+                        f"{where}: skippable_cycles {skippable} > idle_cycles {idle_cycles}"
+                    )
+            hists = idle.get("run_length_histograms")
+            if isinstance(hists, dict):
+                if sorted(hists.keys()) != sorted(hist_keys):
+                    errors.append(
+                        f"{where}.idle.run_length_histograms keys {sorted(hists.keys())} "
+                        f"!= schema stall kinds + unattributed {sorted(hist_keys)}"
+                    )
+                runs = 0
+                for kind, buckets in hists.items():
+                    if not isinstance(buckets, list):
+                        errors.append(f"{where}: histogram {kind!r} is not a list")
+                        continue
+                    for bucket in buckets:
+                        if not isinstance(bucket, dict):
+                            errors.append(
+                                f"{where}: histogram {kind!r} has a non-object bucket"
+                            )
+                            continue
+                        lo, hi, count = (
+                            bucket.get("lo"),
+                            bucket.get("hi"),
+                            bucket.get("count"),
+                        )
+                        if not all(isinstance(v, int) for v in (lo, hi, count)) or lo > hi:
+                            errors.append(
+                                f"{where}: histogram {kind!r} has a malformed bucket {bucket}"
+                            )
+                            continue
+                        runs += count
+                if isinstance(idle.get("idle_runs"), int) and runs != idle["idle_runs"]:
+                    errors.append(
+                        f"{where}: histogram run counts sum to {runs} != "
+                        f"idle_runs {idle['idle_runs']}"
+                    )
+
+        periodicity = target.get("periodicity")
+        if isinstance(periodicity, dict):
+            check_required(
+                periodicity,
+                schema["hostprof_periodicity"]["required"],
+                f"{where}.periodicity",
+                errors,
+            )
+            period = periodicity.get("period", "absent")
+            if period != "absent" and period is not None and not isinstance(period, int):
+                errors.append(f"{where}.periodicity: period must be an int or null")
+            if period == "absent":
+                errors.append(f"{where}.periodicity: missing required key `period`")
+
+        projection = target.get("projection")
+        if isinstance(projection, dict):
+            check_required(
+                projection,
+                schema["hostprof_projection"]["required"],
+                f"{where}.projection",
+                errors,
+            )
+            for key, value in projection.items():
+                if isinstance(value, (int, float)) and value < 1.0:
+                    errors.append(
+                        f"{where}.projection: {key} = {value} is not a speedup (>= 1.0)"
+                    )
+
+
 def check_chrome_trace(doc, schema, errors):
     spec = schema["chrome_trace"]
     check_required(doc, spec["required"], "chrome trace", errors)
@@ -195,9 +333,12 @@ def main():
     parser.add_argument("--profile", help="peakperf-profile-v1 document to validate")
     parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
     parser.add_argument("--bench", help="peakperf-bench-v1 document to validate")
+    parser.add_argument("--hostprof", help="peakperf-hostprof-v1 document to validate")
     args = parser.parse_args()
-    if not args.profile and not args.trace and not args.bench:
-        parser.error("nothing to validate: pass --profile, --trace, and/or --bench")
+    if not args.profile and not args.trace and not args.bench and not args.hostprof:
+        parser.error(
+            "nothing to validate: pass --profile, --trace, --bench, and/or --hostprof"
+        )
 
     with open(SCHEMA_PATH, encoding="utf-8") as f:
         schema = json.load(f)
@@ -214,13 +355,20 @@ def main():
             bench_schema = json.load(f)
         with open(args.bench, encoding="utf-8") as f:
             check_bench_document(json.load(f), bench_schema, errors)
+    if args.hostprof:
+        with open(HOSTPROF_SCHEMA_PATH, encoding="utf-8") as f:
+            hostprof_schema = json.load(f)
+        with open(args.hostprof, encoding="utf-8") as f:
+            check_hostprof_document(json.load(f), hostprof_schema, errors)
 
     if errors:
         print(f"schema check FAILED ({len(errors)} violation(s)):", file=sys.stderr)
         for e in errors:
             print(f"  - {e}", file=sys.stderr)
         return 1
-    checked = " and ".join(p for p in (args.profile, args.trace, args.bench) if p)
+    checked = " and ".join(
+        p for p in (args.profile, args.trace, args.bench, args.hostprof) if p
+    )
     print(f"schema check OK: {checked}")
     return 0
 
