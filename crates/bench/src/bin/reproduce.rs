@@ -10,6 +10,8 @@
 //!                 [--compare-out <path>] [--wall-band <f>] [--acc-band <f>]
 //!                 [--filter <prefix>]
 //! reproduce hostprof <target>... [--json <path>]
+//! reproduce serve [--jobs <file.jsonl>] [--soak <n>] [--seed <n>]
+//!                 [--queue-cap <n>] [--results <path.jsonl>] [--json <path>]
 //!
 //! options:
 //!   --full               simulate the full problem sizes
@@ -54,6 +56,21 @@
 //!   --json <path>        write the peakperf-hostprof-v1 document (host
 //!                        wall-time attribution, idle-run histograms, and
 //!                        the projected simulator speedup per target)
+//!
+//! serve options:
+//!   --jobs <file.jsonl>  submit one peakperf-job-v1 object per line; any
+//!                        failed or rejected job from the file fails the
+//!                        exit code
+//!   --soak <n>           append n chaos-soak jobs (hostile mutants,
+//!                        panics, deadline-doomed spins, ...); their
+//!                        individual failures are expected and do not
+//!                        fail the run — only a broken resilience
+//!                        invariant does
+//!   --seed <n>           soak mix seed (default 1)
+//!   --queue-cap <n>      bounded queue capacity; submissions beyond it
+//!                        are shed as `rejected` (default 256)
+//!   --results <path>     write one peakperf-job-result-v1 line per job
+//!   --json <path>        write the peakperf-service-v1 summary document
 //! ```
 //!
 //! Experiment names are validated up front; a failing (or panicking)
@@ -71,6 +88,7 @@ use peakperf_bench::hostprof;
 use peakperf_bench::json::Json;
 use peakperf_bench::perf::{PerfSpan, RunReport};
 use peakperf_bench::profiling;
+use peakperf_bench::service;
 use peakperf_bench::telemetry;
 
 fn usage() -> ExitCode {
@@ -84,6 +102,8 @@ fn usage() -> ExitCode {
          \x20      reproduce bench [--json <path>] [--compare <baseline.json>] \
          [--compare-out <path>] [--wall-band <f>] [--acc-band <f>] [--filter <prefix>]\n\
          \x20      reproduce hostprof [--json <path>] <target>...\n\
+         \x20      reproduce serve [--jobs <file.jsonl>] [--soak <n>] [--seed <n>] \
+         [--queue-cap <n>] [--results <path.jsonl>] [--json <path>]\n\
          experiments: {} all\n\
          profile targets: {}",
         ALL.join(" "),
@@ -157,6 +177,11 @@ struct Options {
     bench_filter: Option<String>,
     compare_config: telemetry::CompareConfig,
     hostprof_mode: bool,
+    serve_mode: bool,
+    jobs_path: Option<String>,
+    soak: Option<u64>,
+    queue_cap: Option<usize>,
+    results_path: Option<String>,
     metrics_out: Option<String>,
 }
 
@@ -182,6 +207,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         bench_filter: None,
         compare_config: telemetry::CompareConfig::default(),
         hostprof_mode: false,
+        serve_mode: false,
+        jobs_path: None,
+        soak: None,
+        queue_cap: None,
+        results_path: None,
         metrics_out: None,
     };
     let mut it = args.iter();
@@ -251,6 +281,32 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--replay needs a value")?;
                 opts.replay_dir = Some(v.clone());
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs_path = Some(v.clone());
+            }
+            "--soak" => {
+                let v = it.next().ok_or("--soak needs a value")?;
+                opts.soak = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| format!("invalid soak count `{v}`"))?,
+                );
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                opts.queue_cap = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| format!("invalid queue capacity `{v}`"))?,
+                );
+            }
+            "--results" => {
+                let v = it.next().ok_or("--results needs a value")?;
+                opts.results_path = Some(v.clone());
+            }
             "--compare" => {
                 let v = it.next().ok_or("--compare needs a value")?;
                 opts.compare = Some(v.clone());
@@ -287,7 +343,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if opts.names.is_empty()
                     && !opts.profile_mode
                     && !opts.fuzz_mode
-                    && !opts.hostprof_mode =>
+                    && !opts.hostprof_mode
+                    && !opts.serve_mode =>
             {
                 opts.profile_mode = true;
             }
@@ -295,7 +352,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if opts.names.is_empty()
                     && !opts.profile_mode
                     && !opts.fuzz_mode
-                    && !opts.hostprof_mode =>
+                    && !opts.hostprof_mode
+                    && !opts.serve_mode =>
             {
                 opts.fuzz_mode = true;
             }
@@ -304,7 +362,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     && !opts.profile_mode
                     && !opts.fuzz_mode
                     && !opts.bench_mode
-                    && !opts.hostprof_mode =>
+                    && !opts.hostprof_mode
+                    && !opts.serve_mode =>
             {
                 opts.bench_mode = true;
             }
@@ -313,9 +372,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     && !opts.profile_mode
                     && !opts.fuzz_mode
                     && !opts.bench_mode
-                    && !opts.hostprof_mode =>
+                    && !opts.hostprof_mode
+                    && !opts.serve_mode =>
             {
                 opts.hostprof_mode = true;
+            }
+            "serve"
+                if opts.names.is_empty()
+                    && !opts.profile_mode
+                    && !opts.fuzz_mode
+                    && !opts.bench_mode
+                    && !opts.hostprof_mode
+                    && !opts.serve_mode =>
+            {
+                opts.serve_mode = true;
             }
             other => opts.names.push(other.to_owned()),
         }
@@ -332,6 +402,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.compare.is_some() || opts.compare_out.is_some() || opts.bench_filter.is_some() {
         return Err("--compare/--compare-out/--filter require the `bench` subcommand".to_owned());
+    }
+    if opts.serve_mode {
+        if !opts.names.is_empty() {
+            return Err(format!(
+                "serve takes no positional arguments (got {})",
+                opts.names.join(", ")
+            ));
+        }
+        if opts.jobs_path.is_none() && opts.soak.is_none() {
+            return Err("serve needs --jobs <file.jsonl> and/or --soak <n>".to_owned());
+        }
+        return Ok(opts);
+    }
+    if opts.jobs_path.is_some()
+        || opts.soak.is_some()
+        || opts.queue_cap.is_some()
+        || opts.results_path.is_some()
+    {
+        return Err(
+            "--jobs/--soak/--queue-cap/--results require the `serve` subcommand".to_owned(),
+        );
     }
     if opts.fuzz_mode {
         if !opts.names.is_empty() {
@@ -618,6 +709,134 @@ fn run_hostprof(opts: &Options) -> ExitCode {
     }
 }
 
+/// Run the `serve` subcommand: feed a job file and/or a generated
+/// chaos-soak mix through the resilient service core, then check the
+/// resilience invariants on the way out. Soak jobs are *meant* to fail,
+/// panic and blow deadlines — the run fails only when an accepted job
+/// never reaches a terminal state, the accounting identity breaks, the
+/// queue bound is exceeded, or a job from `--jobs` fails/is rejected.
+fn run_serve(opts: &Options) -> ExitCode {
+    let mut jobs: Vec<service::JobSpec> = Vec::new();
+    let mut file_ids: std::collections::HashSet<String> = std::collections::HashSet::new();
+    if let Some(path) = &opts.jobs_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match service::parse_jobs_jsonl(&text) {
+            Ok(parsed) => {
+                file_ids.extend(parsed.iter().map(|j| j.id.clone()));
+                jobs.extend(parsed);
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(n) = opts.soak {
+        jobs.extend(service::soak_jobs(n, opts.fuzz_seed));
+    }
+    {
+        let mut seen = std::collections::HashSet::new();
+        if let Some(dup) = jobs.iter().find(|j| !seen.insert(j.id.as_str())) {
+            eprintln!("error: duplicate job id `{}`", dup.id);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let queue_capacity = opts.queue_cap.unwrap_or(256);
+    let config = service::ServiceConfig {
+        workers: 0,
+        queue_capacity,
+        ..service::ServiceConfig::default()
+    };
+    let (svc, rx) = service::Service::start(config);
+    let workers = exec::default_workers();
+    let submitted = jobs.len();
+    let t0 = Instant::now();
+    for job in jobs {
+        svc.submit(job);
+    }
+    let health = svc.drain();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let results: Vec<service::JobResult> = rx.try_iter().collect();
+    println!("{}", service::render_summary(&health, &results, wall_ms));
+    eprintln!("[serve: {submitted} job(s) in {wall_ms:.1} ms, {workers} workers]");
+
+    let mut failures = 0u32;
+    if let Some(path) = &opts.results_path {
+        let lines = results
+            .iter()
+            .map(service::JobResult::to_json_line)
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("error: could not write results to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[results written to {path}]");
+        }
+    }
+    if let Some(path) = &opts.json_path {
+        let doc = service::service_document(workers, queue_capacity, &health, &results, wall_ms);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: could not write service document to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[service document written to {path}]");
+        }
+    }
+
+    // The resilience invariants: every job terminal, nothing lost,
+    // nothing left queued or running, the queue bound respected.
+    if results.len() != submitted {
+        eprintln!(
+            "error: {} result(s) for {submitted} submission(s) — a job was lost",
+            results.len()
+        );
+        failures += 1;
+    }
+    if health.terminal() != health.submitted || !health.accounted() {
+        eprintln!(
+            "error: accounting identity violated: {}",
+            health.render_line()
+        );
+        failures += 1;
+    }
+    if health.queue_depth != 0 || health.in_flight != 0 {
+        eprintln!("error: drain left work behind: {}", health.render_line());
+        failures += 1;
+    }
+    if health.queue_depth_max > queue_capacity as u64 {
+        eprintln!(
+            "error: queue depth peaked at {} with capacity {queue_capacity}",
+            health.queue_depth_max
+        );
+        failures += 1;
+    }
+    // Jobs from an explicit --jobs file are production work: failing or
+    // being shed is an error (cancel/deadline are requested semantics).
+    for r in results.iter().filter(|r| file_ids.contains(&r.id)) {
+        if matches!(
+            r.status,
+            service::JobStatus::Failed | service::JobStatus::Rejected
+        ) {
+            eprintln!("error: job {} {}: {}", r.id, r.status.as_str(), r.detail);
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Write the perfmon registry dump requested with `--metrics-out`;
 /// returns the number of failures (0 or 1).
 fn write_metrics(opts: &Options) -> u32 {
@@ -718,6 +937,9 @@ fn main() -> ExitCode {
     }
     if opts.fuzz_mode {
         return with_metrics(&opts, run_fuzz(&opts));
+    }
+    if opts.serve_mode {
+        return with_metrics(&opts, run_serve(&opts));
     }
     if opts.hostprof_mode {
         return with_metrics(&opts, run_hostprof(&opts));

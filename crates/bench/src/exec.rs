@@ -256,9 +256,112 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Panic isolation with backtrace capture
+// ---------------------------------------------------------------------------
+
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    /// Nesting depth of [`run_isolated`] on this thread; the scoped hook
+    /// only captures while it is positive.
+    static ISOLATION_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Backtrace of the most recent panic raised on this thread while
+    /// isolated, taken by [`run_isolated`] when it catches the unwind.
+    static LAST_BACKTRACE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Install the process-wide panic hook that backs [`run_isolated`]'s
+/// backtrace capture, chaining to the previously installed hook for
+/// panics outside any isolation scope (so ordinary panics still print).
+fn install_capture_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if ISOLATION_DEPTH.with(Cell::get) > 0 {
+                // Force-capture: the backtrace must exist even without
+                // RUST_BACKTRACE set, because it ends up in a structured
+                // FAILED report, not on stderr. Capturing also swallows
+                // the default stderr dump — an isolated panic is expected
+                // traffic (fuzz mutants, hostile service jobs), not noise
+                // worth two screens of output per mutant.
+                let bt = std::backtrace::Backtrace::force_capture();
+                LAST_BACKTRACE.with(|slot| *slot.borrow_mut() = Some(condense_backtrace(&bt)));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Reduce a raw backtrace to the frames a failure report needs: drop the
+/// capture/panic machinery above the panic site and the catch/runtime
+/// scaffolding below the isolated closure, and cap the frame count.
+fn condense_backtrace(bt: &std::backtrace::Backtrace) -> String {
+    // `Backtrace`'s Display is one numbered line per frame, optionally
+    // followed by an indented `at file:line` location line.
+    let full = format!("{bt}");
+    let mut frames: Vec<Vec<&str>> = Vec::new();
+    for line in full.lines() {
+        if line.trim_start().starts_with("at ") {
+            if let Some(frame) = frames.last_mut() {
+                frame.push(line);
+            }
+        } else {
+            frames.push(vec![line]);
+        }
+    }
+    let is_machinery_above = |frame: &[&str]| {
+        frame[0].contains("core::panicking")
+            || frame[0].contains("std::panicking")
+            || frame[0].contains("rust_begin_unwind")
+            || frame[0].contains("backtrace::Backtrace")
+            || frame[0].contains("install_capture_hook")
+    };
+    let is_scaffolding_below = |frame: &[&str]| {
+        frame[0].contains("__rust_try")
+            || frame[0].contains("std::panic::catch_unwind")
+            || frame[0].contains("run_isolated")
+            || frame[0].contains("std::rt::")
+            || frame[0].contains("__libc_start")
+    };
+    // Start after the last machinery frame at the top of the stack.
+    let start = frames
+        .iter()
+        .rposition(|f| is_machinery_above(f))
+        .map_or(0, |i| i + 1);
+    let end = frames[start..]
+        .iter()
+        .position(|f| is_scaffolding_below(f))
+        .map_or(frames.len(), |i| start + i);
+    let selected = &frames[start..end];
+    if selected.is_empty() {
+        return full;
+    }
+    let mut out: Vec<&str> = Vec::new();
+    for frame in selected.iter().take(25) {
+        out.extend(frame.iter().copied());
+    }
+    if selected.len() > 25 {
+        out.push("  ... (truncated)");
+    }
+    out.join("\n")
+}
+
 /// Run `f` under a panic-to-error boundary: a panic inside the closure
-/// becomes an `Err` with the panic message instead of unwinding through the
-/// harness and tearing down the whole run.
+/// becomes an `Err` carrying the panic message **and the backtrace of the
+/// panic site**, instead of unwinding through the harness and tearing down
+/// the whole run. FAILED experiments and service jobs thus report where
+/// they died, not just what the payload said.
+///
+/// The capture uses a scoped panic hook: installed process-wide once, it
+/// only records (and suppresses the default stderr dump) for panics raised
+/// on a thread currently inside `run_isolated`; panics elsewhere go to the
+/// previously installed hook unchanged. Panics that cross threads before
+/// being caught (e.g. an [`Executor::map`] worker propagating through the
+/// scope join) keep their message but lose the backtrace — the re-raise on
+/// the joining thread does not run the hook again.
 ///
 /// This is the graceful-degradation seam for one experiment (or one fuzz
 /// mutant): [`Executor::map`] still *propagates* panics by design (its jobs
@@ -269,8 +372,18 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// Returns `Err` when `f` returns `Err` or panics.
 pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
-        .unwrap_or_else(|payload| Err(format!("panic: {}", panic_message(payload.as_ref()))))
+    install_capture_hook();
+    ISOLATION_DEPTH.with(|d| d.set(d.get() + 1));
+    LAST_BACKTRACE.with(|slot| *slot.borrow_mut() = None);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    ISOLATION_DEPTH.with(|d| d.set(d.get() - 1));
+    outcome.unwrap_or_else(|payload| {
+        let message = panic_message(payload.as_ref());
+        match LAST_BACKTRACE.with(|slot| slot.borrow_mut().take()) {
+            Some(bt) if !bt.trim().is_empty() => Err(format!("panic: {message}\nbacktrace:\n{bt}")),
+            _ => Err(format!("panic: {message}")),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -373,11 +486,39 @@ mod tests {
         assert_eq!(ok, Ok(7));
         let err = run_isolated(|| -> Result<u32, String> { Err("plain failure".into()) });
         assert_eq!(err, Err("plain failure".to_owned()));
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
+        // No hook juggling needed: the scoped capture hook suppresses the
+        // default stderr dump for isolated panics on its own.
         let caught = run_isolated(|| -> Result<u32, String> { panic!("boom {}", 42) });
-        std::panic::set_hook(hook);
-        assert_eq!(caught, Err("panic: boom 42".to_owned()));
+        let text = caught.unwrap_err();
+        assert!(text.starts_with("panic: boom 42"), "{text}");
+    }
+
+    #[test]
+    fn run_isolated_captures_a_backtrace() {
+        fn deep_panic() -> Result<u32, String> {
+            panic!("deliberate service-job crash");
+        }
+        let text = run_isolated(deep_panic).unwrap_err();
+        assert!(
+            text.starts_with("panic: deliberate service-job crash"),
+            "{text}"
+        );
+        // `force_capture` works without RUST_BACKTRACE, so the frames must
+        // be attached (symbol names may be mangled or missing in release,
+        // but the section itself is always present).
+        assert!(text.contains("backtrace:"), "{text}");
+    }
+
+    #[test]
+    fn non_isolated_panics_still_reach_the_previous_hook() {
+        // A panic caught outside `run_isolated` must not populate the
+        // thread-local capture slot (depth is zero, so the hook chains to
+        // the default one; libtest captures its stderr line).
+        run_isolated(|| Ok::<_, String>(0)).unwrap(); // ensure hook installed
+        let _ = std::panic::catch_unwind(|| panic!("outside isolation"));
+        let caught = run_isolated(|| -> Result<u32, String> { panic!("inside") });
+        let text = caught.unwrap_err();
+        assert!(text.starts_with("panic: inside"), "{text}");
     }
 
     #[test]

@@ -669,6 +669,12 @@ fn classify(result: Result<u64, SimError>) -> Outcome {
         Err(SimError::BarrierDeadlock { .. }) => Outcome::Fault("barrier_deadlock"),
         Err(SimError::RanOffEnd) => Outcome::Fault("ran_off_end"),
         Err(SimError::StepLimit { .. }) => Outcome::Timeout,
+        // The fuzzer never arms a CancelToken, but the service's chaos-soak
+        // mode replays its mutants under deadlines; both aborts classify as
+        // timeouts (host-imposed, not a simulator defect).
+        Err(SimError::Cancelled { .. }) | Err(SimError::DeadlineExceeded { .. }) => {
+            Outcome::Timeout
+        }
     }
 }
 

@@ -15,4 +15,5 @@ pub mod json;
 pub mod perf;
 pub mod profiling;
 pub mod report;
+pub mod service;
 pub mod telemetry;

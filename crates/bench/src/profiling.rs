@@ -24,7 +24,7 @@ use peakperf_sim::timing::trace::Tee;
 use peakperf_sim::timing::{
     chrome_trace, Profile, ProfileBuilder, StallKind, TimingSim, TraceBuffer,
 };
-use peakperf_sim::{GlobalMemory, LaunchConfig, SimError};
+use peakperf_sim::{CancelToken, GlobalMemory, LaunchConfig, SimError};
 
 /// A named profiling target.
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +118,22 @@ pub struct ProfileOutcome {
 ///
 /// Unknown target names and simulation failures.
 pub fn run_target(name: &str, capture_trace: bool) -> Result<ProfileOutcome, SimError> {
+    run_target_cancellable(name, capture_trace, None)
+}
+
+/// [`run_target`] with an optional cooperative [`CancelToken`] attached to
+/// the timing run — the deadline/abort seam the simulation service
+/// (`crate::service`) uses to bound hostile or oversized jobs.
+///
+/// # Errors
+///
+/// Everything [`run_target`] raises, plus [`SimError::Cancelled`] /
+/// [`SimError::DeadlineExceeded`] when the token fires mid-run.
+pub fn run_target_cancellable(
+    name: &str,
+    capture_trace: bool,
+    cancel: Option<&CancelToken>,
+) -> Result<ProfileOutcome, SimError> {
     let mut prepared = prepare(name)?;
     let mut sim = TimingSim::new(
         &prepared.gpu,
@@ -126,6 +142,9 @@ pub fn run_target(name: &str, capture_trace: bool) -> Result<ProfileOutcome, Sim
         &prepared.params,
         prepared.resident,
     )?;
+    if let Some(token) = cancel {
+        sim.set_cancel_token(token.clone());
+    }
     let memory = &mut prepared.memory;
     let mut builder = ProfileBuilder::new();
     let (report, buffer) = if capture_trace {

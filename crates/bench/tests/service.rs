@@ -1,0 +1,249 @@
+//! Integration tests of the resilient service core and the `reproduce
+//! serve` subcommand: the chaos soak (hundreds of hostile jobs, every
+//! one reaching a terminal state with the queue bound respected), the
+//! accounting identity end to end, and the JSONL job-file path.
+
+use std::process::{Command, Output};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use peakperf_bench::json::Json;
+use peakperf_bench::service::{
+    self, JobKind, JobResult, JobSpec, JobStatus, Service, ServiceConfig,
+};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("failed to launch reproduce")
+}
+
+/// Collect results with an overall watchdog: the soak's core claim is
+/// *zero hangs*, so a stuck worker must fail the test instead of letting
+/// the harness time out with no diagnostics.
+fn collect(rx: &mpsc::Receiver<JobResult>, want: usize, budget: Duration) -> Vec<JobResult> {
+    let mut results = Vec::with_capacity(want);
+    while results.len() < want {
+        match rx.recv_timeout(budget) {
+            Ok(r) => results.push(r),
+            Err(e) => panic!(
+                "hang: only {}/{want} results after {budget:?} ({e})",
+                results.len()
+            ),
+        }
+    }
+    results
+}
+
+#[test]
+fn chaos_soak_reaches_terminal_state_for_every_job() {
+    // 220 hostile-heavy jobs through a deliberately tight queue so the
+    // backpressure path is exercised alongside panics, deadline-doomed
+    // spins, cycle-triggered cancels, flaky retries and mutants.
+    let jobs = service::soak_jobs(220, 2026);
+    let total = jobs.len();
+    let capacity = 32;
+    let (svc, rx) = Service::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: capacity,
+        retry_backoff_ms: 1,
+    });
+    for job in jobs {
+        svc.submit(job);
+    }
+    // Rejections land on the channel immediately; accepted jobs finish
+    // as the workers drain the queue. Per-job deadlines (<= 60 s in the
+    // soak mix) bound the whole thing; the watchdog is generous.
+    let results = collect(&rx, total, Duration::from_secs(300));
+    let health = svc.drain();
+
+    assert_eq!(results.len(), total, "every job must produce one result");
+    assert_eq!(health.submitted, total as u64);
+    assert_eq!(
+        health.terminal(),
+        health.submitted,
+        "accounting identity: {}",
+        health.render_line()
+    );
+    assert!(health.accounted(), "{}", health.render_line());
+    assert_eq!(health.queue_depth, 0);
+    assert_eq!(health.in_flight, 0);
+    assert!(
+        health.queue_depth_max <= capacity as u64,
+        "queue bound violated: {}",
+        health.render_line()
+    );
+
+    // The hostile mix must actually exercise every terminal state and
+    // the retry path, or the soak proves nothing.
+    assert!(health.completed > 0, "{}", health.render_line());
+    assert!(health.failed > 0, "{}", health.render_line());
+    assert!(health.deadline > 0, "{}", health.render_line());
+    assert!(health.cancelled > 0, "{}", health.render_line());
+    assert!(health.retried > 0, "{}", health.render_line());
+
+    // Spot-check semantics: panics are failures with a backtrace, and
+    // cycle-triggered spins were cancelled mid-simulation.
+    let panic = results
+        .iter()
+        .find(|r| r.kind == "panic" && r.status == JobStatus::Failed)
+        .expect("a panic job should fail terminally");
+    assert!(panic.detail.contains("backtrace:"), "{}", panic.detail);
+    assert!(results.iter().any(|r| r.kind == "spin"
+        && r.status == JobStatus::Cancelled
+        && r.detail.contains("cancelled at cycle")));
+}
+
+#[test]
+fn soak_results_are_deterministic_for_simulator_jobs() {
+    // Same seed, same cycle-triggered spin: the simulator must abort at
+    // the same cycle both times (cancellation is on the deterministic
+    // 1024-cycle grid, not a wall-clock race).
+    let spin = service::soak_jobs(200, 9)
+        .into_iter()
+        .find(|j| j.kind == JobKind::Spin && j.cancel_at_cycle.is_some())
+        .expect("the soak mix includes cycle-triggered spins");
+    let run = |spec: JobSpec| {
+        let (svc, rx) = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        svc.submit(spec);
+        let results = collect(&rx, 1, Duration::from_secs(60));
+        svc.drain();
+        results.into_iter().next().unwrap()
+    };
+    let a = run(spin.clone());
+    let b = run(spin);
+    assert_eq!(a.status, JobStatus::Cancelled);
+    assert_eq!(a.detail, b.detail, "abort cycle must be deterministic");
+}
+
+#[test]
+fn serve_cli_runs_a_jobs_file_and_emits_valid_documents() {
+    let dir = std::env::temp_dir().join(format!("peakperf-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs_path = dir.join("jobs.jsonl");
+    let json_path = dir.join("service.json");
+    let results_path = dir.join("results.jsonl");
+    // Well-behaved production jobs only: a mutant evaluation, a flaky
+    // job within its retry budget, and a deadline-doomed spin (deadline
+    // is requested semantics, not a failure).
+    let jobs = [
+        JobSpec::new(
+            "mutant-1",
+            JobKind::Fault {
+                case: peakperf_bench::fault::FuzzCase {
+                    generation: peakperf_arch::Generation::Kepler,
+                    seed: peakperf_bench::fault::SeedSpec::parse("table2:03").unwrap(),
+                    mutation_seed: 11,
+                },
+            },
+        ),
+        JobSpec {
+            max_retries: 2,
+            ..JobSpec::new("flaky-1", JobKind::Flaky { fail_attempts: 1 })
+        },
+        JobSpec {
+            deadline_ms: Some(40),
+            ..JobSpec::new("doomed-1", JobKind::Spin)
+        },
+    ];
+    let text = jobs
+        .iter()
+        .map(JobSpec::to_json_line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&jobs_path, text).unwrap();
+
+    let out = reproduce(&[
+        "serve",
+        "--jobs",
+        jobs_path.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+        "--results",
+        results_path.to_str().unwrap(),
+    ]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "serve failed:\n{err}");
+
+    // The summary document carries the envelope, balanced health
+    // counters, and one result per job.
+    let doc = Json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("peakperf-service-v1")
+    );
+    let health = doc.get("health").unwrap();
+    let n = |k: &str| health.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(n("submitted"), 3);
+    assert_eq!(n("completed"), 2);
+    assert_eq!(n("deadline"), 1);
+    assert_eq!(n("failed") + n("cancelled") + n("rejected"), 0);
+    assert!(n("retried") >= 1, "the flaky job must have retried");
+
+    // The results JSONL round-trips line by line.
+    let lines: Vec<String> = std::fs::read_to_string(&results_path)
+        .unwrap()
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    assert_eq!(lines.len(), 3);
+    for line in &lines {
+        let r = Json::parse(line).unwrap();
+        assert_eq!(
+            r.get("schema").and_then(Json::as_str),
+            Some("peakperf-job-result-v1")
+        );
+        assert!(
+            ["completed", "deadline"].contains(&r.get("status").and_then(Json::as_str).unwrap())
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_cli_fails_when_a_file_job_fails() {
+    let dir = std::env::temp_dir().join(format!("peakperf-serve-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs_path = dir.join("jobs.jsonl");
+    std::fs::write(
+        &jobs_path,
+        JobSpec::new("boom", JobKind::Panic).to_json_line(),
+    )
+    .unwrap();
+    let out = reproduce(&["serve", "--jobs", jobs_path.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "a panicking job from --jobs must fail the exit code"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("boom"), "stderr should name the job: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_cli_validates_its_arguments() {
+    // No job source.
+    let out = reproduce(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+    // Serve flags outside serve mode.
+    let out = reproduce(&["--soak", "5", "table1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve"));
+    // Positional arguments are rejected.
+    let out = reproduce(&["serve", "--soak", "5", "table1"]);
+    assert!(!out.status.success());
+    // Malformed job lines are named with their line number.
+    let dir = std::env::temp_dir().join(format!("peakperf-serve-args-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs_path = dir.join("jobs.jsonl");
+    std::fs::write(&jobs_path, "{\"schema\":\"peakperf-job-v1\"}").unwrap();
+    let out = reproduce(&["serve", "--jobs", jobs_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("jobs line 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,191 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a host
+//! (a service worker enforcing a deadline, a user pressing Ctrl-C) and a
+//! running [`TimingSim`](crate::timing::TimingSim). The simulator polls
+//! the token every [`CHECK_INTERVAL_CYCLES`] simulated cycles — one
+//! relaxed atomic load on the hot path, plus one `Instant::now()` per
+//! check when a wall-clock deadline is armed — and aborts with a typed
+//! [`SimError`](crate::SimError) carrying the same per-warp scheduling
+//! snapshot the step-limit watchdog produces, so a cancelled run is
+//! debuggable rather than opaque.
+//!
+//! Cancellation is strictly cooperative and observational: a token that
+//! never fires leaves the simulated cycle count bit-identical to a run
+//! without any token (locked by test in `timing::sm`).
+//!
+//! Three trigger paths, all funneled through [`CancelToken::fire_state`]:
+//!
+//! * [`CancelToken::cancel`] — an explicit host-side request
+//!   (service shutdown, user abort);
+//! * a wall-clock deadline armed with [`CancelToken::with_deadline`] —
+//!   the per-job budget of the simulation service;
+//! * a simulated-cycle trigger armed with
+//!   [`CancelToken::cancel_at_cycle`] — deterministic by construction,
+//!   used by tests to prove cancelled runs leave consistent state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in simulated cycles) the timing loop polls its token.
+///
+/// Small enough that a deadline trips within a fraction of a millisecond
+/// of host time even for slow cycles, large enough that the poll —
+/// a relaxed load — is unmeasurable against the per-cycle work.
+pub const CHECK_INTERVAL_CYCLES: u64 = 1024;
+
+/// Why a poll decided the run must stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (or a cycle trigger fired).
+    Cancelled,
+    /// The wall-clock deadline armed at token creation has passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Simulated cycle at or after which the token fires
+    /// (`u64::MAX` = never).
+    cancel_at_cycle: AtomicU64,
+    /// Wall-clock point after which the token fires.
+    deadline: Option<Instant>,
+    /// The deadline's original budget, for diagnostics.
+    deadline_ms: u64,
+}
+
+/// A cloneable cancellation handle (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`] (or
+    /// an armed cycle trigger).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                cancel_at_cycle: AtomicU64::new(u64::MAX),
+                deadline: None,
+                deadline_ms: 0,
+            }),
+        }
+    }
+
+    /// A token that additionally fires once `budget` of wall-clock time
+    /// has elapsed from now.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                cancel_at_cycle: AtomicU64::new(u64::MAX),
+                deadline: Some(Instant::now() + budget),
+                deadline_ms: budget.as_millis().min(u128::from(u64::MAX)) as u64,
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Arm a deterministic trigger: polls at simulated cycle >= `cycle`
+    /// report [`CancelCause::Cancelled`]. Because the simulator polls on a
+    /// fixed cycle grid, the abort point is a pure function of `cycle` —
+    /// the determinism the cancellation tests rely on.
+    pub fn cancel_at_cycle(&self, cycle: u64) {
+        self.inner.cancel_at_cycle.store(cycle, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The deadline budget in milliseconds (0 when no deadline is armed).
+    pub fn deadline_ms(&self) -> u64 {
+        self.inner.deadline_ms
+    }
+
+    /// Poll the token at simulated cycle `cycle`: `None` to keep running.
+    ///
+    /// This is the (cold-path) check the timing loop performs every
+    /// [`CHECK_INTERVAL_CYCLES`]; explicit cancellation wins over the
+    /// deadline when both have fired.
+    pub fn fire_state(&self, cycle: u64) -> Option<CancelCause> {
+        if self.inner.cancelled.load(Ordering::Relaxed)
+            || cycle >= self.inner.cancel_at_cycle.load(Ordering::Relaxed)
+        {
+            return Some(CancelCause::Cancelled);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                return Some(CancelCause::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_token_never_fires_on_its_own() {
+        let t = CancelToken::new();
+        assert_eq!(t.fire_state(0), None);
+        assert_eq!(t.fire_state(u64::MAX - 1), None);
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline_ms(), 0);
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.fire_state(0), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn cycle_trigger_fires_at_or_after_the_armed_cycle() {
+        let t = CancelToken::new();
+        t.cancel_at_cycle(5000);
+        assert_eq!(t.fire_state(4999), None);
+        assert_eq!(t.fire_state(5000), Some(CancelCause::Cancelled));
+        assert_eq!(t.fire_state(1_000_000), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        // The deadline is `now`, so any later poll must fire.
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(t.fire_state(0), Some(CancelCause::DeadlineExceeded));
+        assert_eq!(t.deadline_ms(), 0);
+        let generous = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(generous.fire_state(0), None);
+        assert_eq!(generous.deadline_ms(), 3_600_000);
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        t.cancel();
+        assert_eq!(t.fire_state(0), Some(CancelCause::Cancelled));
+    }
+}

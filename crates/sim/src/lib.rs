@@ -52,6 +52,7 @@
 // `SimError`, so panicking shortcuts are rejected outside test code.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
 mod error;
 mod exec;
 mod func;
@@ -62,6 +63,7 @@ mod stats;
 pub mod timing;
 mod warp;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use error::{HangSnapshot, SimError, WarpHang};
 pub use func::Gpu;
 pub use launch::{Dim3, LaunchConfig};
@@ -81,6 +83,8 @@ const _: fn() = || {
     assert_send::<timing::TimingReport>();
     assert_send::<timing::GpuTiming>();
     assert_send::<Counters>();
+    fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<CancelToken>();
 };
 
 pub use peakperf_arch::Generation;

@@ -17,11 +17,19 @@
 //! library's `Hasher` because the key also names on-disk entries, so it
 //! must be stable across Rust versions and processes.
 //!
+//! The disk tier is hardened for concurrent, long-lived use (the
+//! simulation service shares one `--cache-dir` across processes and
+//! restarts): entries are written atomically (temp file + rename, so a
+//! killed process never leaves a torn entry under a valid name), carry a
+//! trailing FNV checksum verified on load, and anything unparseable is
+//! quarantined — renamed to `.bad` and counted ([`quarantined_count`]) —
+//! instead of silently accepted.
+//!
 //! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
 
 use std::collections::{BTreeMap, HashMap};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use peakperf_arch::GpuConfig;
@@ -148,8 +156,15 @@ impl SimCache {
             return Some((r.clone(), false));
         }
         let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let report = parse_report(&text)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        let Some(report) = parse_report(&text) else {
+            // A torn, truncated, bit-flipped, or foreign entry: quarantine
+            // it (rename to `.bad`, atomic even against a concurrent
+            // writer) and count it, instead of silently accepting zeroed
+            // fields. The slot becomes a plain miss and is re-simulated.
+            quarantine(&path);
+            return None;
+        };
         lock_recover(&self.mem).insert(key, report.clone());
         Some((report, true))
     }
@@ -157,6 +172,11 @@ impl SimCache {
     /// Store a report under `key` (in memory, and on disk when configured).
     /// Disk write failures are ignored: the cache is an accelerator, not a
     /// store of record.
+    ///
+    /// Disk entries are written atomically — serialized to a unique temp
+    /// file in the same directory, then renamed over the final name — so a
+    /// process killed mid-write (or two processes sharing a `--cache-dir`)
+    /// can never leave a torn entry under a valid entry name.
     pub fn store(&self, key: u128, report: &TimingReport) {
         let t0 = if crate::perfmon::enabled() {
             Some(std::time::Instant::now())
@@ -168,7 +188,17 @@ impl SimCache {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
-            let _ = std::fs::write(path, serialize_report(report));
+            static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+            let tmp = path.with_extension(format!(
+                "tmp.{}.{}",
+                std::process::id(),
+                WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            if std::fs::write(&tmp, serialize_report(report)).is_ok()
+                && std::fs::rename(&tmp, &path).is_err()
+            {
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
         if let Some(t0) = t0 {
             crate::perfmon::counter_add("timing_cache.store_ns", t0.elapsed().as_nanos() as u64);
@@ -234,10 +264,63 @@ pub(crate) fn active() -> Option<&'static SimCache> {
 }
 
 // ---------------------------------------------------------------------
-// Report (de)serialization — line-oriented text, versioned
+// Quarantine of corrupt disk entries
 // ---------------------------------------------------------------------
 
-const FORMAT_TAG: &str = "peakperf-simcache v1";
+/// Corrupt entries quarantined (renamed to `.bad`) by this process.
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of corrupt disk entries this process has quarantined.
+pub fn quarantined_count() -> u64 {
+    QUARANTINED.load(Ordering::Relaxed)
+}
+
+/// Move a corrupt entry out of the way (`<entry>.bad`) so it is never
+/// re-parsed, and count it. Rename failures (e.g. a concurrent process
+/// already quarantined or replaced it) are ignored — the entry is treated
+/// as a miss either way.
+fn quarantine(path: &Path) {
+    let bad = path.with_extension("simcache.bad");
+    let _ = std::fs::remove_file(&bad);
+    let _ = std::fs::rename(path, &bad);
+    QUARANTINED.fetch_add(1, Ordering::Relaxed);
+    crate::perfmon::counter_add("timing_cache.quarantined", 1);
+}
+
+// ---------------------------------------------------------------------
+// Report (de)serialization — line-oriented text, versioned, checksummed
+// ---------------------------------------------------------------------
+
+/// v2 adds a trailing `checksum` line and a strict parser (all scalar
+/// fields required exactly once); v1 entries predate both and are
+/// quarantined like any other unparseable file.
+const FORMAT_TAG: &str = "peakperf-simcache v2";
+
+/// The scalar (non-repeating) fields of an entry, in serialization order.
+/// The parser requires each of these exactly once — a truncated or
+/// tag-only file must never parse into an all-zero report.
+const SCALAR_FIELDS: [&str; 8] = [
+    "cycles",
+    "warp_instructions",
+    "thread_instructions",
+    "flops",
+    "lds_conflict_cycles",
+    "global_transactions",
+    "global_bytes",
+    "hazard_replays",
+];
+
+/// FNV-1a over the entry body — stable across processes (same reason the
+/// key hash is FNV), written as the final `checksum` line and verified on
+/// load so a torn or bit-flipped entry is detected even when the damage
+/// leaves every line individually well-formed.
+fn body_checksum(body: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in body.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 fn serialize_report(r: &TimingReport) -> String {
     let mut out = String::new();
@@ -257,11 +340,27 @@ fn serialize_report(r: &TimingReport) -> String {
     for (mnemonic, n) in r.mix.iter() {
         out.push_str(&format!("mix {mnemonic} {n}\n"));
     }
+    out.push_str(&format!("checksum {:016x}\n", body_checksum(&out)));
     out
 }
 
 fn parse_report(text: &str) -> Option<TimingReport> {
-    let mut lines = text.lines();
+    // The checksum line covers everything before it, including the tag.
+    let body_end = text.rfind("checksum ")?;
+    // The checksum must be the final line, not a value embedded elsewhere.
+    if body_end > 0 && text.as_bytes()[body_end - 1] != b'\n' {
+        return None;
+    }
+    let (body, trailer) = text.split_at(body_end);
+    let recorded = trailer
+        .strip_prefix("checksum ")?
+        .trim_end_matches('\n')
+        .trim();
+    if recorded.len() != 16 || u64::from_str_radix(recorded, 16).ok()? != body_checksum(body) {
+        return None;
+    }
+
+    let mut lines = body.lines();
     if lines.next()? != FORMAT_TAG {
         return None;
     }
@@ -277,6 +376,7 @@ fn parse_report(text: &str) -> Option<TimingReport> {
         global_bytes: 0,
         hazard_replays: 0,
     };
+    let mut seen_scalar = [false; SCALAR_FIELDS.len()];
     for line in lines {
         let mut parts = line.split_whitespace();
         let field = parts.next()?;
@@ -284,14 +384,24 @@ fn parse_report(text: &str) -> Option<TimingReport> {
             "stall" => {
                 let kind = StallKind::parse(parts.next()?)?;
                 let n = parts.next()?.parse().ok()?;
-                report.stalls.insert(kind, n);
+                if report.stalls.insert(kind, n).is_some() {
+                    return None; // duplicate stall kind
+                }
             }
             "mix" => {
                 let mnemonic = parts.next()?;
+                if report.mix.count(mnemonic) != 0 {
+                    return None; // duplicate mnemonic
+                }
                 let n = parts.next()?.parse().ok()?;
                 report.mix.add_count(mnemonic, n);
             }
             _ => {
+                let slot = SCALAR_FIELDS.iter().position(|f| *f == field)?;
+                if seen_scalar[slot] {
+                    return None; // duplicate scalar field
+                }
+                seen_scalar[slot] = true;
                 let value: u64 = parts.next()?.parse().ok()?;
                 match field {
                     "cycles" => report.cycles = value,
@@ -309,6 +419,11 @@ fn parse_report(text: &str) -> Option<TimingReport> {
         if parts.next().is_some() {
             return None;
         }
+    }
+    // Every scalar field is required: a tag-only or truncated entry must
+    // not parse into a silent zero-cycle report.
+    if !seen_scalar.iter().all(|&s| s) {
+        return None;
     }
     Some(report)
 }
@@ -354,6 +469,137 @@ mod tests {
     fn rejects_foreign_text() {
         assert!(parse_report("not a cache file").is_none());
         assert!(parse_report(&format!("{FORMAT_TAG}\nbogus_field 3")).is_none());
+    }
+
+    /// Re-checksum a tampered body so the parser's rejection exercises the
+    /// field rules rather than the checksum (tampering alone would trip
+    /// the checksum first).
+    fn with_fresh_checksum(body: &str) -> String {
+        format!("{body}checksum {:016x}\n", body_checksum(body))
+    }
+
+    #[test]
+    fn rejects_corrupt_entry_corpus() {
+        let good = serialize_report(&sample_report());
+        let body = good
+            .split_inclusive('\n')
+            .filter(|l| !l.starts_with("checksum "))
+            .collect::<String>();
+
+        // Tag-only and truncated entries: must never parse into an
+        // all-zero report.
+        assert!(parse_report(&with_fresh_checksum(&format!("{FORMAT_TAG}\n"))).is_none());
+        assert!(parse_report(FORMAT_TAG).is_none());
+        let half = &good[..good.len() / 2];
+        assert!(parse_report(half).is_none());
+        // Truncation that keeps whole lines but drops trailing fields.
+        let three_lines = body.split_inclusive('\n').take(3).collect::<String>();
+        assert!(parse_report(&with_fresh_checksum(&three_lines)).is_none());
+
+        // Wrong tag.
+        assert!(parse_report(&with_fresh_checksum(&body.replacen("v2", "v9", 1))).is_none());
+        assert!(parse_report(&good.replacen(FORMAT_TAG, "peakperf-simcache v1", 1)).is_none());
+
+        // Duplicate fields: scalars, stall kinds, and mix mnemonics.
+        assert!(parse_report(&with_fresh_checksum(&format!("{body}cycles 7\n"))).is_none());
+        assert!(parse_report(&with_fresh_checksum(&format!(
+            "{body}stall scoreboard 1\nstall scoreboard 2\n"
+        )))
+        .is_none());
+        assert!(parse_report(&with_fresh_checksum(&format!(
+            "{body}mix NOP 1\nmix NOP 2\n"
+        )))
+        .is_none());
+
+        // Bit flips anywhere in the body trip the checksum.
+        for pos in [0, good.len() / 3, good.len() - 2] {
+            let mut bytes = good.clone().into_bytes();
+            bytes[pos] ^= 0x10;
+            if let Ok(flipped) = String::from_utf8(bytes) {
+                assert!(parse_report(&flipped).is_none(), "bit flip at {pos} parsed");
+            }
+        }
+
+        // A checksum line that is not the final line.
+        let misplaced = format!("checksum {:016x}\n{good}", body_checksum(""));
+        assert!(parse_report(&misplaced).is_none());
+
+        // The unmodified entry still parses (the corpus is not vacuous).
+        assert!(parse_report(&good).is_some());
+    }
+
+    #[test]
+    fn corrupt_disk_entries_are_quarantined_not_parsed() {
+        let dir = std::env::temp_dir().join(format!(
+            "peakperf-simcache-quarantine-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = sample_report();
+        let cache = SimCache::new(Some(dir.clone()));
+
+        // A valid entry for key 1, then three corrupt files: truncated,
+        // tag-only, and garbage.
+        cache.store(1, &report);
+        let entry = |k: u128| dir.join(format!("{k:032x}.simcache"));
+        let good_text = std::fs::read_to_string(entry(1)).unwrap();
+        std::fs::write(entry(2), &good_text[..good_text.len() / 2]).unwrap();
+        std::fs::write(entry(3), format!("{FORMAT_TAG}\n")).unwrap();
+        std::fs::write(entry(4), "garbage\n").unwrap();
+
+        let before = quarantined_count();
+        // Fresh cache instance: all lookups go to disk.
+        let fresh = SimCache::new(Some(dir.clone()));
+        assert_eq!(fresh.lookup(1).unwrap().cycles, report.cycles);
+        assert!(fresh.lookup(2).is_none());
+        assert!(fresh.lookup(3).is_none());
+        assert!(fresh.lookup(4).is_none());
+        assert_eq!(quarantined_count() - before, 3);
+
+        // The corrupt files moved aside; a re-lookup does not re-count.
+        for k in [2u128, 3, 4] {
+            assert!(!entry(k).exists(), "corrupt entry {k} still in place");
+            assert!(
+                entry(k).with_extension("simcache.bad").exists(),
+                "quarantined file for {k} missing"
+            );
+            assert!(fresh.lookup(k).is_none());
+        }
+        assert_eq!(quarantined_count() - before, 3);
+
+        // A re-store over a quarantined slot works and parses again.
+        fresh.store(2, &report);
+        let again = SimCache::new(Some(dir.clone()));
+        assert_eq!(again.lookup(2).unwrap().cycles, report.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_leaves_no_temp_files_and_survives_concurrent_writers() {
+        let dir =
+            std::env::temp_dir().join(format!("peakperf-simcache-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = sample_report();
+        let cache = SimCache::new(Some(dir.clone()));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        cache.store(99, &report);
+                    }
+                });
+            }
+        });
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 1, "leftover files: {names:?}");
+        assert!(names[0].ends_with(".simcache"));
+        let fresh = SimCache::new(Some(dir.clone()));
+        assert_eq!(fresh.lookup(99).unwrap().cycles, report.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use peakperf_arch::{GpuConfig, WARP_SIZE};
 use peakperf_sass::{validate_kernel, CtlInfo, Kernel, Op, OpClass};
 
+use crate::cancel::{CancelCause, CancelToken, CHECK_INTERVAL_CYCLES};
 use crate::exec::{release_barrier, step_warp, BlockCtx, MemCtx};
 use crate::perfmon::{NoopProbe, PerfProbe, Phase, Stopwatch};
 use crate::timing::conflict::{global_transactions, shared_conflict_factor, SEGMENT_BYTES};
@@ -171,6 +172,9 @@ pub struct TimingSim {
     params: Vec<u32>,
     resident_blocks: u32,
     cycle_limit: u64,
+    /// Cooperative cancellation handle, polled every
+    /// [`CHECK_INTERVAL_CYCLES`]; `None` skips the poll entirely.
+    cancel: Option<CancelToken>,
     /// Pre-extracted per-instruction metadata.
     meta: Vec<InstMeta>,
     /// Hash of every input the run result depends on (see
@@ -256,6 +260,7 @@ impl TimingSim {
             params: params.to_vec(),
             resident_blocks,
             cycle_limit: DEFAULT_CYCLE_LIMIT,
+            cancel: None,
             meta,
             cache_key,
         })
@@ -264,6 +269,16 @@ impl TimingSim {
     /// Override the safety cycle limit.
     pub fn set_cycle_limit(&mut self, limit: u64) {
         self.cycle_limit = limit;
+    }
+
+    /// Attach a cooperative [`CancelToken`]: the scheduler loop polls it
+    /// every [`CHECK_INTERVAL_CYCLES`] simulated cycles (one relaxed
+    /// atomic load) and aborts with [`SimError::Cancelled`] /
+    /// [`SimError::DeadlineExceeded`] carrying the per-warp scheduling
+    /// snapshot. A token that never fires leaves the run cycle-identical
+    /// to an untokened run (the poll is a pure observer).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// Run to completion and report.
@@ -402,6 +417,26 @@ impl TimingSim {
                     limit: self.cycle_limit,
                     snapshot: Some(timing_hang_snapshot(cycle, &slots)),
                 });
+            }
+            if cycle.is_multiple_of(CHECK_INTERVAL_CYCLES) {
+                if let Some(token) = &self.cancel {
+                    match token.fire_state(cycle) {
+                        None => {}
+                        Some(CancelCause::Cancelled) => {
+                            return Err(SimError::Cancelled {
+                                at_cycle: cycle,
+                                snapshot: Some(timing_hang_snapshot(cycle, &slots)),
+                            });
+                        }
+                        Some(CancelCause::DeadlineExceeded) => {
+                            return Err(SimError::DeadlineExceeded {
+                                deadline_ms: token.deadline_ms(),
+                                at_cycle: cycle,
+                                snapshot: Some(timing_hang_snapshot(cycle, &slots)),
+                            });
+                        }
+                    }
+                }
             }
             if let Some(refill) = self.calib.tokens_per_cycle {
                 tokens = (tokens + refill as f64).min(token_cap.max(refill as f64));
@@ -1144,6 +1179,116 @@ mod tests {
             let a = probe.analyze();
             assert!(a.idle_cycles <= a.cycles);
             assert!(a.combined_speedup() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn never_firing_token_is_cycle_identical() {
+        // The token poll is a pure observer: a run carrying a token that
+        // never fires (even one with a generous deadline) must produce the
+        // exact report of a token-less run — the cancellation analogue of
+        // the NoopSink / NoopProbe identity locks.
+        for gen in [Generation::Fermi, Generation::Kepler] {
+            let kernel = ffma_kernel(gen, 16, 32);
+            let gpu = GpuConfig::preset(gen);
+            let config = LaunchConfig::linear(2, 128);
+
+            let mut mem = GlobalMemory::new();
+            let mut sim = TimingSim::new(&gpu, &kernel, config, &[], 2).unwrap();
+            let plain = sim.run(&mut mem).unwrap();
+
+            let mut mem = GlobalMemory::new();
+            let mut sim = TimingSim::new(&gpu, &kernel, config, &[], 2).unwrap();
+            sim.set_cancel_token(CancelToken::with_deadline(std::time::Duration::from_secs(
+                3600,
+            )));
+            let tokened = sim.run(&mut mem).unwrap();
+
+            assert_eq!(plain.cycles, tokened.cycles);
+            assert_eq!(plain.warp_instructions, tokened.warp_instructions);
+            assert_eq!(plain.thread_instructions, tokened.thread_instructions);
+            assert_eq!(plain.stalls, tokened.stalls);
+            assert_eq!(plain.flops, tokened.flops);
+            assert_eq!(plain.hazard_replays, tokened.hazard_replays);
+        }
+    }
+
+    #[test]
+    fn cancel_at_cycle_is_deterministic_and_snapshotted() {
+        // A spin kernel runs forever; a cycle-armed token must abort it at
+        // the first poll boundary >= the armed cycle, identically on every
+        // run, with a coherent per-warp snapshot.
+        let mut b = KernelBuilder::new("spin", Generation::Fermi);
+        let top = b.label_here();
+        b.bra(top);
+        b.exit();
+        let kernel = b.finish().unwrap();
+        let gpu = GpuConfig::gtx580();
+
+        let run_cancelled = |at: u64| -> SimError {
+            let mut mem = GlobalMemory::new();
+            let mut sim =
+                TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 64), &[], 1).unwrap();
+            let token = CancelToken::new();
+            token.cancel_at_cycle(at);
+            sim.set_cancel_token(token);
+            sim.run(&mut mem).unwrap_err()
+        };
+
+        let first = run_cancelled(5000);
+        let second = run_cancelled(5000);
+        assert_eq!(first, second, "cancelled runs must be deterministic");
+        match first {
+            SimError::Cancelled { at_cycle, snapshot } => {
+                // First poll boundary at or after the armed cycle.
+                assert_eq!(at_cycle, 5000_u64.next_multiple_of(CHECK_INTERVAL_CYCLES));
+                let snap = snapshot.expect("cancellation carries a snapshot");
+                assert_eq!(snap.at, at_cycle);
+                assert_eq!(snap.warps.len(), 2); // 64 threads = 2 warps
+                assert!(snap.warps.iter().all(|w| w.state != "done"));
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // A different armed cycle lands on a different boundary.
+        match run_cancelled(0) {
+            SimError::Cancelled { at_cycle, .. } => assert_eq!(at_cycle, 0),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_immediately() {
+        let kernel = ffma_kernel(Generation::Fermi, 16, 1 << 20);
+        let gpu = GpuConfig::gtx580();
+        let mut mem = GlobalMemory::new();
+        let mut sim = TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 64), &[], 1).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        sim.set_cancel_token(token);
+        match sim.run(&mut mem) {
+            Err(SimError::Cancelled { at_cycle, .. }) => assert_eq!(at_cycle, 0),
+            other => panic!("expected immediate Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_aborts_with_budget_in_error() {
+        let kernel = ffma_kernel(Generation::Fermi, 16, 1 << 20);
+        let gpu = GpuConfig::gtx580();
+        let mut mem = GlobalMemory::new();
+        let mut sim = TimingSim::new(&gpu, &kernel, LaunchConfig::linear(1, 64), &[], 1).unwrap();
+        sim.set_cancel_token(CancelToken::with_deadline(std::time::Duration::ZERO));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        match sim.run(&mut mem) {
+            Err(SimError::DeadlineExceeded {
+                deadline_ms,
+                snapshot,
+                ..
+            }) => {
+                assert_eq!(deadline_ms, 0);
+                assert!(snapshot.is_some());
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
     }
 

@@ -5,6 +5,7 @@ Usage:
     scripts/check_trace_schema.py --profile profile.json [--trace trace.json]
     scripts/check_trace_schema.py --bench bench.json
     scripts/check_trace_schema.py --hostprof hostprof.json
+    scripts/check_trace_schema.py --service service.json
 
 Checks, for the peakperf-profile-v1 document:
   * required keys and their types (scripts/trace_schema.json);
@@ -36,6 +37,19 @@ For the peakperf-hostprof-v1 document (scripts/hostprof_schema.json):
     their run counts sum to idle_runs, skippable_cycles <= idle_cycles <=
     cycles, and every projection field is a speedup (>= 1.0).
 
+For the peakperf-service-v1 document (scripts/service_schema.json):
+  * required keys and their types, on the envelope, the health object,
+    and every result;
+  * every result carries a known job kind and a *terminal* status — a
+    hung or lost job cannot produce a valid document;
+  * the accounting identity: completed + failed + cancelled + deadline +
+    rejected == submitted, and results agree with the health counters
+    status by status;
+  * liveness at shutdown: queue_depth and in_flight are 0, and the queue
+    high-water mark never exceeded queue_capacity (bounded backpressure);
+  * attempts >= 1 for every executed job and == 0 for shed/queue-cancelled
+    ones, with unique result ids.
+
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
 
@@ -47,6 +61,7 @@ import sys
 SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
 BENCH_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "bench_schema.json")
 HOSTPROF_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "hostprof_schema.json")
+SERVICE_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "service_schema.json")
 
 TYPES = {
     "str": str,
@@ -305,6 +320,86 @@ def check_hostprof_document(doc, schema, errors):
                     )
 
 
+def check_service_document(doc, schema, errors):
+    check_required(doc, schema["service_document"]["required"], "service document", errors)
+    if doc.get("schema") != schema["service_schema"]:
+        errors.append(
+            f"service document: schema is {doc.get('schema')!r}, "
+            f"expected {schema['service_schema']!r}"
+        )
+    statuses = schema["terminal_statuses"]
+    kinds = set(schema["job_kinds"])
+
+    health = doc.get("health")
+    if not isinstance(health, dict):
+        return
+    check_required(health, schema["service_health"]["required"], "service health", errors)
+
+    results = doc.get("results", [])
+    seen_ids = []
+    result_tally = dict.fromkeys(statuses, 0)
+    for i, result in enumerate(results):
+        where = f"results[{i}]"
+        check_required(result, schema["service_result"]["required"], where, errors)
+        if result.get("schema") != schema["result_schema"]:
+            errors.append(
+                f"{where}: schema is {result.get('schema')!r}, "
+                f"expected {schema['result_schema']!r}"
+            )
+        rid = result.get("id")
+        if isinstance(rid, str):
+            seen_ids.append(rid)
+            where = f"results[{i}] ({rid})"
+        if result.get("kind") not in kinds:
+            errors.append(f"{where}: unknown job kind {result.get('kind')!r}")
+        status = result.get("status")
+        if status not in statuses:
+            # The load-bearing check: every job must reach a *terminal*
+            # state; anything else means a job hung or was lost.
+            errors.append(f"{where}: status {status!r} is not terminal {statuses}")
+            continue
+        result_tally[status] += 1
+        attempts = result.get("attempts")
+        if isinstance(attempts, int):
+            if status == "rejected" and attempts != 0:
+                errors.append(f"{where}: rejected job reports {attempts} attempt(s)")
+            if status in ("completed", "failed", "deadline") and attempts < 1:
+                errors.append(f"{where}: {status} job reports {attempts} attempt(s)")
+
+    if len(seen_ids) != len(set(seen_ids)):
+        dupes = sorted({i for i in seen_ids if seen_ids.count(i) > 1})
+        errors.append(f"service document: duplicate result ids {dupes}")
+
+    counts = {k: health.get(k) for k in schema["service_health"]["required"]}
+    if not all(isinstance(v, int) for v in counts.values()):
+        return
+    terminal = sum(counts[s] for s in statuses)
+    if terminal != counts["submitted"]:
+        # The accounting identity of the resilient core.
+        errors.append(
+            "service document: accounting identity violated: "
+            + " + ".join(f"{s} {counts[s]}" for s in statuses)
+            + f" = {terminal} != submitted {counts['submitted']}"
+        )
+    for status in statuses:
+        if result_tally[status] != counts[status]:
+            errors.append(
+                f"service document: {result_tally[status]} {status} result(s) "
+                f"but health counts {counts[status]}"
+            )
+    if counts["queue_depth"] != 0 or counts["in_flight"] != 0:
+        errors.append(
+            f"service document: shutdown left queue_depth {counts['queue_depth']}, "
+            f"in_flight {counts['in_flight']} (expected 0/0)"
+        )
+    cap = doc.get("queue_capacity")
+    if isinstance(cap, int) and counts["queue_depth_max"] > cap:
+        errors.append(
+            f"service document: queue_depth_max {counts['queue_depth_max']} "
+            f"exceeds queue_capacity {cap} (backpressure bound violated)"
+        )
+
+
 def check_chrome_trace(doc, schema, errors):
     spec = schema["chrome_trace"]
     check_required(doc, spec["required"], "chrome trace", errors)
@@ -334,10 +429,12 @@ def main():
     parser.add_argument("--trace", help="Chrome trace-event JSON to validate")
     parser.add_argument("--bench", help="peakperf-bench-v1 document to validate")
     parser.add_argument("--hostprof", help="peakperf-hostprof-v1 document to validate")
+    parser.add_argument("--service", help="peakperf-service-v1 document to validate")
     args = parser.parse_args()
-    if not args.profile and not args.trace and not args.bench and not args.hostprof:
+    if not any((args.profile, args.trace, args.bench, args.hostprof, args.service)):
         parser.error(
-            "nothing to validate: pass --profile, --trace, --bench, and/or --hostprof"
+            "nothing to validate: pass --profile, --trace, --bench, --hostprof, "
+            "and/or --service"
         )
 
     with open(SCHEMA_PATH, encoding="utf-8") as f:
@@ -360,6 +457,11 @@ def main():
             hostprof_schema = json.load(f)
         with open(args.hostprof, encoding="utf-8") as f:
             check_hostprof_document(json.load(f), hostprof_schema, errors)
+    if args.service:
+        with open(SERVICE_SCHEMA_PATH, encoding="utf-8") as f:
+            service_schema = json.load(f)
+        with open(args.service, encoding="utf-8") as f:
+            check_service_document(json.load(f), service_schema, errors)
 
     if errors:
         print(f"schema check FAILED ({len(errors)} violation(s)):", file=sys.stderr)
@@ -367,7 +469,9 @@ def main():
             print(f"  - {e}", file=sys.stderr)
         return 1
     checked = " and ".join(
-        p for p in (args.profile, args.trace, args.bench, args.hostprof) if p
+        p
+        for p in (args.profile, args.trace, args.bench, args.hostprof, args.service)
+        if p
     )
     print(f"schema check OK: {checked}")
     return 0
