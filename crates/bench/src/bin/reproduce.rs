@@ -12,6 +12,8 @@
 //! reproduce hostprof <target>... [--json <path>]
 //! reproduce serve [--jobs <file.jsonl>] [--soak <n>] [--seed <n>]
 //!                 [--queue-cap <n>] [--results <path.jsonl>] [--json <path>]
+//!                 [--journal-out <path>] [--trace-out <path>]
+//!                 [--snapshot-ms <n>]
 //!
 //! options:
 //!   --full               simulate the full problem sizes
@@ -71,7 +73,19 @@
 //!                        are shed as `rejected` (default 256)
 //!   --results <path>     write one peakperf-job-result-v1 line per job
 //!   --json <path>        write the peakperf-service-v1 summary document
+//!   --journal-out <path> record every job-lifecycle event and write the
+//!                        peakperf-servicetrace-v1 journal document
+//!   --trace-out <path>   write the journal as Chrome trace-event JSON
+//!                        (Perfetto): one track per worker, queue depth
+//!                        as a counter track
+//!   --snapshot-ms <n>    health time-series snapshot interval for the
+//!                        journal (default 100; 0 disables snapshots)
 //! ```
+//!
+//! `serve` always arms a bounded flight-recorder ring even without
+//! `--journal-out`: when a resilience invariant fails, the last events
+//! are dumped as a servicetrace document and the error message points at
+//! the dump.
 //!
 //! Experiment names are validated up front; a failing (or panicking)
 //! experiment is reported and the remaining ones still run, with the exit
@@ -103,7 +117,8 @@ fn usage() -> ExitCode {
          [--compare-out <path>] [--wall-band <f>] [--acc-band <f>] [--filter <prefix>]\n\
          \x20      reproduce hostprof [--json <path>] <target>...\n\
          \x20      reproduce serve [--jobs <file.jsonl>] [--soak <n>] [--seed <n>] \
-         [--queue-cap <n>] [--results <path.jsonl>] [--json <path>]\n\
+         [--queue-cap <n>] [--results <path.jsonl>] [--json <path>] \
+         [--journal-out <path>] [--trace-out <path>] [--snapshot-ms <n>]\n\
          experiments: {} all\n\
          profile targets: {}",
         ALL.join(" "),
@@ -182,6 +197,8 @@ struct Options {
     soak: Option<u64>,
     queue_cap: Option<usize>,
     results_path: Option<String>,
+    journal_out: Option<String>,
+    snapshot_ms: Option<u64>,
     metrics_out: Option<String>,
 }
 
@@ -212,6 +229,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         soak: None,
         queue_cap: None,
         results_path: None,
+        journal_out: None,
+        snapshot_ms: None,
         metrics_out: None,
     };
     let mut it = args.iter();
@@ -306,6 +325,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--results" => {
                 let v = it.next().ok_or("--results needs a value")?;
                 opts.results_path = Some(v.clone());
+            }
+            "--journal-out" => {
+                let v = it.next().ok_or("--journal-out needs a value")?;
+                opts.journal_out = Some(v.clone());
+            }
+            "--snapshot-ms" => {
+                let v = it.next().ok_or("--snapshot-ms needs a value")?;
+                opts.snapshot_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid snapshot interval `{v}`"))?,
+                );
             }
             "--compare" => {
                 let v = it.next().ok_or("--compare needs a value")?;
@@ -419,9 +449,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         || opts.soak.is_some()
         || opts.queue_cap.is_some()
         || opts.results_path.is_some()
+        || opts.journal_out.is_some()
+        || opts.snapshot_ms.is_some()
     {
         return Err(
-            "--jobs/--soak/--queue-cap/--results require the `serve` subcommand".to_owned(),
+            "--jobs/--soak/--queue-cap/--results/--journal-out/--snapshot-ms \
+             require the `serve` subcommand"
+                .to_owned(),
         );
     }
     if opts.fuzz_mode {
@@ -754,7 +788,24 @@ fn run_serve(opts: &Options) -> ExitCode {
         queue_capacity,
         ..service::ServiceConfig::default()
     };
-    let (svc, rx) = service::Service::start(config);
+    // The flight recorder is always armed: a full journal when the run
+    // asked for one (`--journal-out`/`--trace-out`), else a bounded ring
+    // whose tail is dumped if a resilience invariant fails.
+    let snapshot_interval = match opts.snapshot_ms.unwrap_or(100) {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    let want_full = opts.journal_out.is_some() || opts.trace_out.is_some();
+    let journal = std::sync::Arc::new(if want_full {
+        service::journal::Journal::full(snapshot_interval)
+    } else {
+        service::journal::Journal::flight_recorder(
+            service::journal::DEFAULT_RING_CAPACITY,
+            snapshot_interval,
+        )
+    });
+    let (svc, rx) =
+        service::Service::start_with_journal(config, Some(std::sync::Arc::clone(&journal)));
     let workers = exec::default_workers();
     let submitted = jobs.len();
     let t0 = Instant::now();
@@ -783,12 +834,38 @@ fn run_serve(opts: &Options) -> ExitCode {
         }
     }
     if let Some(path) = &opts.json_path {
-        let doc = service::service_document(workers, queue_capacity, &health, &results, wall_ms);
+        let perfmon = peakperf_sim::perfmon::enabled().then(peakperf_sim::perfmon::snapshot);
+        let doc = service::service_document(
+            workers,
+            queue_capacity,
+            &health,
+            &results,
+            wall_ms,
+            perfmon.as_ref(),
+        );
         if let Err(e) = std::fs::write(path, doc) {
             eprintln!("error: could not write service document to {path}: {e}");
             failures += 1;
         } else {
             eprintln!("[service document written to {path}]");
+        }
+    }
+    if let Some(path) = &opts.journal_out {
+        let doc = journal.document(workers, queue_capacity, &health, wall_ms);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: could not write journal to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[journal written to {path}]");
+        }
+    }
+    if let Some(path) = &opts.trace_out {
+        let trace = journal.chrome_trace(workers);
+        if let Err(e) = std::fs::write(path, trace) {
+            eprintln!("error: could not write chrome trace to {path}: {e}");
+            failures += 1;
+        } else {
+            eprintln!("[chrome trace written to {path}]");
         }
     }
 
@@ -819,6 +896,12 @@ fn run_serve(opts: &Options) -> ExitCode {
         );
         failures += 1;
     }
+    // The journal's own invariants: gap-free span chains and the
+    // accounting identity re-derived from events alone.
+    for violation in journal.check_invariants(Some(&health)) {
+        eprintln!("error: journal invariant violated: {violation}");
+        failures += 1;
+    }
     // Jobs from an explicit --jobs file are production work: failing or
     // being shed is an error (cancel/deadline are requested semantics).
     for r in results.iter().filter(|r| file_ids.contains(&r.id)) {
@@ -831,6 +914,23 @@ fn run_serve(opts: &Options) -> ExitCode {
         }
     }
     if failures > 0 {
+        // Any failure ships with its history: dump the flight-recorder
+        // ring (unless the full journal was already written above) and
+        // point at it from the error message.
+        if opts.journal_out.is_none() {
+            let dump_path = "serve-flightrec.json";
+            let doc = journal.document(workers, queue_capacity, &health, wall_ms);
+            match std::fs::write(dump_path, doc) {
+                Ok(()) => eprintln!(
+                    "error: serve run failed; flight recorder ({} event(s)) dumped to \
+                     {dump_path}",
+                    journal.len()
+                ),
+                Err(e) => eprintln!("error: could not dump flight recorder to {dump_path}: {e}"),
+            }
+        } else if let Some(path) = &opts.journal_out {
+            eprintln!("error: serve run failed; see the journal at {path}");
+        }
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

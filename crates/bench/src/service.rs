@@ -29,16 +29,22 @@
 //!   accepted job still produces its terminal result.
 //! * **observability** — a [`Health`] snapshot (queue depth, in-flight,
 //!   per-status counters) backed by atomics, mirrored into the
-//!   [`peakperf_sim::perfmon`] registry when enabled.
+//!   [`peakperf_sim::perfmon`] registry when enabled; and, when a
+//!   [`journal::Journal`] is attached via [`Service::start_with_journal`],
+//!   a structured event for every lifecycle transition (the flight
+//!   recorder — see the [`journal`] module docs). No journal attached
+//!   means no events are even constructed.
 //!
 //! Terminal statuses are `completed`, `failed`, `cancelled`, `deadline`
 //! and `rejected`; their counts must sum to `submitted` once the service
 //! has drained — `scripts/check_trace_schema.py --service` enforces this
 //! identity on the emitted `peakperf-service-v1` document.
 
+pub mod journal;
+
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,13 +52,14 @@ use std::time::{Duration, Instant};
 use peakperf_arch::{Generation, GpuConfig};
 use peakperf_sass::KernelBuilder;
 use peakperf_sim::timing::TimingSim;
-use peakperf_sim::{CancelCause, CancelToken, GlobalMemory, LaunchConfig, SimError};
+use peakperf_sim::{CancelCause, CancelSource, CancelToken, GlobalMemory, LaunchConfig, SimError};
 
 use crate::exec::run_isolated;
 use crate::fault::{FuzzCase, Outcome, SeedSpec};
 use crate::json::Json;
 use crate::profiling;
 use crate::report::{envelope_json, json_f64, json_string, Table, PAPER_GPUS};
+use journal::{ErrorClass, EventKind, Journal};
 
 // ---------------------------------------------------------------------------
 // Job specification
@@ -352,6 +359,16 @@ pub struct JobResult {
     /// the `peakperf-profile-v1` object). Not serialized into the result
     /// line; available to embedders.
     pub report_json: Option<String>,
+    /// Microseconds the job waited in the queue before a worker picked
+    /// it up. `None` for jobs that never reached a worker (rejected, or
+    /// cancelled while queued).
+    pub queue_wait_us: Option<u64>,
+    /// Microseconds spent actually executing attempts (excluding queue
+    /// wait and retry backoff sleeps). `None` for jobs that never ran.
+    pub attempts_wall_us: Option<u64>,
+    /// Which trigger path aborted the job, for `cancelled`/`deadline`
+    /// results (`api | cycle | deadline | shutdown`).
+    pub cancel_source: Option<CancelSource>,
 }
 
 impl JobResult {
@@ -368,6 +385,15 @@ impl JobResult {
             self.attempts,
             json_f64(self.wall_ms),
         );
+        if let Some(us) = self.queue_wait_us {
+            let _ = write!(out, ",\"queue_wait_us\":{us}");
+        }
+        if let Some(us) = self.attempts_wall_us {
+            let _ = write!(out, ",\"attempts_wall_us\":{us}");
+        }
+        if let Some(src) = self.cancel_source {
+            let _ = write!(out, ",\"cancel_source\":\"{}\"", src.as_str());
+        }
         if let Some(c) = self.cycles {
             let _ = write!(out, ",\"cycles\":{c}");
         }
@@ -417,6 +443,11 @@ pub struct Health {
     /// High-water mark of the queue depth (never exceeds the configured
     /// capacity).
     pub queue_depth_max: u64,
+    /// Highest queue depth any periodic journal snapshot observed (0
+    /// when no journal with snapshots is attached). Unlike
+    /// `queue_depth_max` this is the *sampled* high-water mark — the one
+    /// a dashboard polling health would have seen.
+    pub snapshot_queue_depth_max: u64,
 }
 
 impl Health {
@@ -431,9 +462,11 @@ impl Health {
         self.terminal() + self.queue_depth + self.in_flight == self.submitted
     }
 
-    /// One-line text rendering for logs.
+    /// One-line text rendering for logs. The snapshot-derived peak only
+    /// appears when a journal with snapshots observed one, so the line
+    /// is unchanged for journal-less runs.
     pub fn render_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "submitted {} | completed {} failed {} cancelled {} deadline {} rejected {} \
              | retried {} | queued {} in-flight {} (peak queue {})",
             self.submitted,
@@ -446,7 +479,11 @@ impl Health {
             self.queue_depth,
             self.in_flight,
             self.queue_depth_max,
-        )
+        );
+        if self.snapshot_queue_depth_max > 0 {
+            let _ = write!(line, " (snapshot peak {})", self.snapshot_queue_depth_max);
+        }
+        line
     }
 }
 
@@ -483,9 +520,17 @@ impl Default for ServiceConfig {
     }
 }
 
+/// One queued submission, timestamped so the queue wait is measurable
+/// whether or not a journal is attached.
+#[derive(Debug)]
+struct Queued {
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
 #[derive(Debug)]
 struct QueueState {
-    queue: VecDeque<JobSpec>,
+    queue: VecDeque<Queued>,
     /// New submissions accepted?
     accepting: bool,
     /// Drain requested: workers exit once the queue is empty.
@@ -516,6 +561,11 @@ struct Shared {
     /// [`Service::shutdown_now`].
     inflight: Mutex<HashMap<String, CancelToken>>,
     config: ServiceConfig,
+    /// The attached flight recorder; `None` = record nothing (the
+    /// zero-overhead-when-off discipline).
+    journal: Option<Arc<Journal>>,
+    /// Tells the snapshot sampler thread to exit.
+    sampler_stop: AtomicBool,
 }
 
 impl Shared {
@@ -530,6 +580,50 @@ impl Shared {
         counter.fetch_add(1, Ordering::Relaxed);
         peakperf_sim::perfmon::counter_add(metric, 1);
     }
+
+    /// Journal one event, when a journal is attached.
+    fn record(&self, job: &str, worker: Option<u32>, kind: EventKind) {
+        if let Some(journal) = &self.journal {
+            journal.record(job, worker, kind);
+        }
+    }
+
+    fn health(&self) -> Health {
+        let c = &self.counters;
+        Health {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            deadline: c.deadline.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            queue_depth: lock(&self.state).queue.len() as u64,
+            queue_depth_max: c.queue_depth_max.load(Ordering::Relaxed),
+            snapshot_queue_depth_max: self
+                .journal
+                .as_ref()
+                .map_or(0, |j| j.snapshot_queue_depth_max()),
+        }
+    }
+}
+
+/// The periodic health sampler: turns [`Health`] into the journal's
+/// time-series. Sleeps in short chunks so shutdown is never blocked on a
+/// long snapshot interval.
+fn sampler_loop(shared: &Shared, journal: &Journal, interval: Duration) {
+    let chunk = interval.min(Duration::from_millis(25));
+    let mut last = Instant::now();
+    while !shared.sampler_stop.load(Ordering::Relaxed) {
+        std::thread::sleep(chunk);
+        if last.elapsed() >= interval {
+            journal.record_snapshot(shared.health());
+            last = Instant::now();
+        }
+    }
+    // One final sample so the series covers the end of the run.
+    journal.record_snapshot(shared.health());
 }
 
 /// The running service: worker threads plus the bounded queue. See the
@@ -538,6 +632,7 @@ impl Shared {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     results: mpsc::Sender<JobResult>,
 }
 
@@ -545,6 +640,17 @@ impl Service {
     /// Start the worker pool. Terminal results (including rejections)
     /// arrive on the returned channel in completion order.
     pub fn start(config: ServiceConfig) -> (Service, mpsc::Receiver<JobResult>) {
+        Service::start_with_journal(config, None)
+    }
+
+    /// [`Service::start`] with a flight recorder attached: every job
+    /// transition is journaled, and if the journal has a snapshot
+    /// interval a sampler thread records periodic `HealthSnapshot`
+    /// events until the service drains.
+    pub fn start_with_journal(
+        config: ServiceConfig,
+        journal: Option<Arc<Journal>>,
+    ) -> (Service, mpsc::Receiver<JobResult>) {
         let workers = if config.workers == 0 {
             crate::exec::default_workers()
         } else {
@@ -561,19 +667,29 @@ impl Service {
             counters: HealthCounters::default(),
             inflight: Mutex::new(HashMap::new()),
             config,
+            journal,
+            sampler_stop: AtomicBool::new(false),
         });
         let (tx, rx) = mpsc::channel();
         let handles = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let shared = Arc::clone(&shared);
                 let tx = tx.clone();
-                std::thread::spawn(move || worker_loop(&shared, &tx))
+                std::thread::spawn(move || worker_loop(&shared, &tx, w as u32))
             })
             .collect();
+        let sampler = shared.journal.as_ref().and_then(|journal| {
+            journal.snapshot_interval().map(|interval| {
+                let shared = Arc::clone(&shared);
+                let journal = Arc::clone(journal);
+                std::thread::spawn(move || sampler_loop(&shared, &journal, interval))
+            })
+        });
         (
             Service {
                 shared,
                 workers: handles,
+                sampler,
                 results: tx,
             },
             rx,
@@ -591,16 +707,24 @@ impl Service {
         let reason = {
             let mut state = lock(&self.shared.state);
             if !state.accepting {
-                Some("shutting-down")
+                Some(("shutting-down", state.queue.len() as u64))
             } else if state.queue.len() >= self.shared.config.queue_capacity {
-                Some("overloaded")
+                Some(("overloaded", state.queue.len() as u64))
             } else {
-                state.queue.push_back(spec.clone());
+                state.queue.push_back(Queued {
+                    spec: spec.clone(),
+                    enqueued: Instant::now(),
+                });
                 let depth = state.queue.len() as u64;
                 self.shared
                     .counters
                     .queue_depth_max
                     .fetch_max(depth, Ordering::Relaxed);
+                // Journaled under the state lock so the `Submitted`
+                // event is sequenced before any worker can record the
+                // matching `Dequeued` (pops take the same lock).
+                self.shared
+                    .record(&spec.id, None, EventKind::Submitted { queue_depth: depth });
                 None
             }
         };
@@ -609,7 +733,19 @@ impl Service {
                 self.shared.jobs_ready.notify_one();
                 SubmitOutcome::Accepted
             }
-            Some(reason) => {
+            Some((reason, depth)) => {
+                self.shared
+                    .record(&spec.id, None, EventKind::Submitted { queue_depth: depth });
+                self.shared
+                    .record(&spec.id, None, EventKind::Rejected { reason });
+                self.shared.record(
+                    &spec.id,
+                    None,
+                    EventKind::Terminal {
+                        status: JobStatus::Rejected,
+                        total_wall_us: 0,
+                    },
+                );
                 self.shared.bump(JobStatus::Rejected);
                 let _ = self.results.send(JobResult {
                     id: spec.id,
@@ -620,6 +756,9 @@ impl Service {
                     detail: reason.to_owned(),
                     cycles: None,
                     report_json: None,
+                    queue_wait_us: None,
+                    attempts_wall_us: None,
+                    cancel_source: None,
                 });
                 SubmitOutcome::Rejected { reason }
             }
@@ -633,12 +772,28 @@ impl Service {
     pub fn cancel(&self, id: &str) -> bool {
         let removed = {
             let mut state = lock(&self.shared.state);
-            match state.queue.iter().position(|j| j.id == id) {
+            match state.queue.iter().position(|j| j.spec.id == id) {
                 Some(i) => state.queue.remove(i),
                 None => None,
             }
         };
-        if let Some(spec) = removed {
+        if let Some(queued) = removed {
+            let spec = queued.spec;
+            self.shared.record(
+                &spec.id,
+                None,
+                EventKind::CancelRequested {
+                    source: CancelSource::Api,
+                },
+            );
+            self.shared.record(
+                &spec.id,
+                None,
+                EventKind::Terminal {
+                    status: JobStatus::Cancelled,
+                    total_wall_us: 0,
+                },
+            );
             self.shared.bump(JobStatus::Cancelled);
             let _ = self.results.send(JobResult {
                 id: spec.id,
@@ -649,10 +804,24 @@ impl Service {
                 detail: "cancelled while queued".to_owned(),
                 cycles: None,
                 report_json: None,
+                queue_wait_us: None,
+                attempts_wall_us: None,
+                cancel_source: Some(CancelSource::Api),
             });
             return true;
         }
-        if let Some(token) = lock(&self.shared.inflight).get(id) {
+        // Journaled under the inflight lock: the worker removes the id
+        // (same lock) *before* recording `Terminal`, so the
+        // `CancelRequested` event can never be sequenced after it.
+        let inflight = lock(&self.shared.inflight);
+        if let Some(token) = inflight.get(id) {
+            self.shared.record(
+                id,
+                None,
+                EventKind::CancelRequested {
+                    source: CancelSource::Api,
+                },
+            );
             token.cancel();
             return true;
         }
@@ -661,19 +830,7 @@ impl Service {
 
     /// Current counters.
     pub fn health(&self) -> Health {
-        let c = &self.shared.counters;
-        Health {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            failed: c.failed.load(Ordering::Relaxed),
-            cancelled: c.cancelled.load(Ordering::Relaxed),
-            deadline: c.deadline.load(Ordering::Relaxed),
-            retried: c.retried.load(Ordering::Relaxed),
-            in_flight: c.in_flight.load(Ordering::Relaxed),
-            queue_depth: lock(&self.shared.state).queue.len() as u64,
-            queue_depth_max: c.queue_depth_max.load(Ordering::Relaxed),
-        }
+        self.shared.health()
     }
 
     /// Stop intake, run the queue dry, join the workers, and return the
@@ -687,6 +844,7 @@ impl Service {
         }
         self.shared.jobs_ready.notify_all();
         self.join_workers();
+        self.stop_sampler();
         self.health()
     }
 
@@ -700,13 +858,38 @@ impl Service {
             state.accepting = false;
             state.stop = true;
             state.stop_now = true;
-            state.queue.drain(..).collect()
+            state.queue.drain(..).map(|q| q.spec).collect()
         };
-        for token in lock(&self.shared.inflight).values() {
-            token.cancel();
+        {
+            let inflight = lock(&self.shared.inflight);
+            for (id, token) in inflight.iter() {
+                self.shared.record(
+                    id,
+                    None,
+                    EventKind::CancelRequested {
+                        source: CancelSource::Shutdown,
+                    },
+                );
+                token.cancel_from(CancelSource::Shutdown);
+            }
         }
         self.shared.jobs_ready.notify_all();
         for spec in queued {
+            self.shared.record(
+                &spec.id,
+                None,
+                EventKind::CancelRequested {
+                    source: CancelSource::Shutdown,
+                },
+            );
+            self.shared.record(
+                &spec.id,
+                None,
+                EventKind::Terminal {
+                    status: JobStatus::Cancelled,
+                    total_wall_us: 0,
+                },
+            );
             self.shared.bump(JobStatus::Cancelled);
             let _ = self.results.send(JobResult {
                 id: spec.id,
@@ -717,9 +900,13 @@ impl Service {
                 detail: "cancelled by shutdown before running".to_owned(),
                 cycles: None,
                 report_json: None,
+                queue_wait_us: None,
+                attempts_wall_us: None,
+                cancel_source: Some(CancelSource::Shutdown),
             });
         }
         self.join_workers();
+        self.stop_sampler();
         self.health()
     }
 
@@ -728,6 +915,15 @@ impl Service {
             // Workers run jobs under the isolation boundary, so a join
             // error means a harness bug; the counters already reflect
             // every job that produced a result.
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop and join the snapshot sampler (after the workers, so its
+    /// final sample sees the drained counters).
+    fn stop_sampler(&mut self) {
+        self.shared.sampler_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.sampler.take() {
             let _ = handle.join();
         }
     }
@@ -745,10 +941,11 @@ impl Drop for Service {
             state.stop_now = true;
         }
         for token in lock(&self.shared.inflight).values() {
-            token.cancel();
+            token.cancel_from(CancelSource::Shutdown);
         }
         self.shared.jobs_ready.notify_all();
         self.join_workers();
+        self.stop_sampler();
     }
 }
 
@@ -758,16 +955,16 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn worker_loop(shared: &Shared, results: &mpsc::Sender<JobResult>) {
+fn worker_loop(shared: &Shared, results: &mpsc::Sender<JobResult>, worker: u32) {
     loop {
-        let spec = {
+        let queued = {
             let mut state = lock(&shared.state);
             loop {
                 if state.stop_now {
                     return;
                 }
-                if let Some(spec) = state.queue.pop_front() {
-                    break spec;
+                if let Some(queued) = state.queue.pop_front() {
+                    break queued;
                 }
                 if state.stop {
                     return;
@@ -778,8 +975,16 @@ fn worker_loop(shared: &Shared, results: &mpsc::Sender<JobResult>) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        let queue_wait = queued.enqueued.elapsed();
+        let queue_wait_us = queue_wait.as_micros().min(u128::from(u64::MAX)) as u64;
+        peakperf_sim::perfmon::counter_add("service.queue_wait_us", queue_wait_us);
+        shared.record(
+            &queued.spec.id,
+            Some(worker),
+            EventKind::Dequeued { queue_wait_us },
+        );
         shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
-        let result = run_job(shared, spec);
+        let result = run_job(shared, queued.spec, worker, queue_wait_us);
         shared.bump(result.status);
         let _ = results.send(result);
         shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -806,7 +1011,7 @@ enum Attempt {
     },
 }
 
-fn run_job(shared: &Shared, spec: JobSpec) -> JobResult {
+fn run_job(shared: &Shared, spec: JobSpec, worker: u32, queue_wait_us: u64) -> JobResult {
     // One token per job: the deadline spans attempts, and an explicit
     // cancel (or a fired deadline) stays fired across retries.
     let token = match spec.deadline_ms {
@@ -819,6 +1024,7 @@ fn run_job(shared: &Shared, spec: JobSpec) -> JobResult {
     lock(&shared.inflight).insert(spec.id.clone(), token.clone());
     let t0 = Instant::now();
     let mut attempts: u32 = 0;
+    let mut attempts_wall = Duration::ZERO;
     let (status, detail, cycles, report_json) = loop {
         // Between attempts (and before the first), honour a token that
         // fired while we were not inside the simulator — a cancel during
@@ -849,7 +1055,14 @@ fn run_job(shared: &Shared, spec: JobSpec) -> JobResult {
         }
         attempts += 1;
         let attempt = attempts;
+        shared.record(
+            &spec.id,
+            Some(worker),
+            EventKind::AttemptStarted { attempt },
+        );
+        let attempt_t0 = Instant::now();
         let outcome = run_isolated(|| run_attempt(&spec, &token, attempt));
+        attempts_wall += attempt_t0.elapsed();
         match outcome {
             Ok(Attempt::Done {
                 detail,
@@ -890,20 +1103,59 @@ fn run_job(shared: &Shared, spec: JobSpec) -> JobResult {
                     (shared.config.retry_backoff_ms << (attempts - 1).min(8))
                         .min(ServiceConfig::MAX_BACKOFF_MS),
                 );
+                shared.record(
+                    &spec.id,
+                    Some(worker),
+                    EventKind::AttemptFailed {
+                        attempt,
+                        error_class: ErrorClass::classify(&message),
+                        backoff_us: backoff.as_micros().min(u128::from(u64::MAX)) as u64,
+                    },
+                );
                 std::thread::sleep(backoff);
             }
         }
     };
+    // Token-driven aborts name their trigger path. Cycle and deadline
+    // fire *inside* the run, so this worker journals the request; api
+    // and shutdown requests were journaled by the requesting thread.
+    let cancel_source = match status {
+        JobStatus::Cancelled | JobStatus::Deadline => token.fired_source(),
+        _ => None,
+    };
+    if let Some(source @ (CancelSource::Cycle | CancelSource::Deadline)) = cancel_source {
+        shared.record(
+            &spec.id,
+            Some(worker),
+            EventKind::CancelRequested { source },
+        );
+    }
+    // Remove from inflight *before* journaling `Terminal`:
+    // `Service::cancel` records its `CancelRequested` while holding the
+    // inflight lock, so either it sees the id and sequences before this
+    // terminal, or it misses the id and records nothing.
     lock(&shared.inflight).remove(&spec.id);
+    let wall = t0.elapsed();
+    shared.record(
+        &spec.id,
+        Some(worker),
+        EventKind::Terminal {
+            status,
+            total_wall_us: wall.as_micros().min(u128::from(u64::MAX)) as u64,
+        },
+    );
     JobResult {
         id: spec.id,
         kind: spec.kind.name(),
         status,
         attempts,
-        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        wall_ms: wall.as_secs_f64() * 1e3,
         detail,
         cycles,
         report_json,
+        queue_wait_us: Some(queue_wait_us),
+        attempts_wall_us: Some(attempts_wall.as_micros().min(u128::from(u64::MAX)) as u64),
+        cancel_source,
     }
 }
 
@@ -1077,12 +1329,20 @@ pub fn soak_jobs(count: u64, seed: u64) -> Vec<JobSpec> {
 
 /// The `peakperf-service-v1` summary document for one `reproduce serve`
 /// run (validated by `scripts/check_trace_schema.py --service`).
+///
+/// When a perfmon snapshot is supplied (`reproduce serve --metrics-out`)
+/// the registry's counters are embedded as a `perfmon` section — the
+/// cross-check surface for the journal's queue-wait totals
+/// (`service.queue_wait_us` accumulates the same values the journal's
+/// `Dequeued` events carry). `None` keeps the document byte-identical to
+/// a build without perfmon.
 pub fn service_document(
     workers: usize,
     queue_capacity: usize,
     health: &Health,
     results: &[JobResult],
     wall_ms: f64,
+    perfmon: Option<&peakperf_sim::perfmon::MetricsSnapshot>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -1110,7 +1370,11 @@ pub fn service_document(
             if i + 1 < fields.len() { "," } else { "" }
         );
     }
-    out.push_str("  },\n  \"results\": [\n");
+    out.push_str("  },\n");
+    if let Some(pm) = perfmon {
+        let _ = writeln!(out, "  \"perfmon\": {},", pm.to_json_object("  "));
+    }
+    out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -1480,7 +1744,7 @@ mod tests {
         service.submit(JobSpec::new("b", JobKind::Panic));
         let health = service.drain();
         let results = drain_results(&rx);
-        let doc = service_document(2, 8, &health, &results, 12.5);
+        let doc = service_document(2, 8, &health, &results, 12.5, None);
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         let parsed = Json::parse(&doc).unwrap();
         assert_eq!(
@@ -1496,6 +1760,179 @@ mod tests {
         assert_eq!(parsed.get("results").unwrap().as_arr().unwrap().len(), 2);
         let summary = render_summary(&health, &results, 12.5);
         assert!(summary.contains("identity holds"), "{summary}");
+    }
+
+    #[test]
+    fn journal_records_gap_free_chains_matching_health() {
+        let journal = Arc::new(Journal::full(None));
+        let (service, rx) = Service::start_with_journal(
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: 8,
+                retry_backoff_ms: 1,
+            },
+            Some(Arc::clone(&journal)),
+        );
+        service.submit(JobSpec {
+            max_retries: 2,
+            ..JobSpec::new("flaky", JobKind::Flaky { fail_attempts: 1 })
+        });
+        service.submit(JobSpec::new("boom", JobKind::Panic));
+        service.submit(JobSpec {
+            cancel_at_cycle: Some(2048),
+            deadline_ms: Some(30_000),
+            ..JobSpec::new("spin", JobKind::Spin)
+        });
+        let health = service.drain();
+        let results = drain_results(&rx);
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            journal.check_invariants(Some(&health)),
+            Vec::<String>::new()
+        );
+        assert!(journal.derived().identity_holds());
+
+        let flaky = journal.spans_for("flaky");
+        assert_eq!(flaky[0].kind.type_name(), "submitted");
+        assert!(flaky.iter().any(|e| e.kind.type_name() == "attempt_failed"));
+        assert_eq!(flaky.last().unwrap().kind.type_name(), "terminal");
+
+        // The cycle-cancelled spin names its trigger path, both in the
+        // journal and on the result line.
+        let spin = journal.spans_for("spin");
+        assert!(spin.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CancelRequested {
+                source: CancelSource::Cycle
+            }
+        )));
+        let spin_result = results.iter().find(|r| r.id == "spin").unwrap();
+        assert_eq!(spin_result.cancel_source, Some(CancelSource::Cycle));
+        assert!(spin_result
+            .to_json_line()
+            .contains("\"cancel_source\":\"cycle\""));
+
+        // Every executed job carries its latency fields.
+        assert!(results
+            .iter()
+            .all(|r| r.queue_wait_us.is_some() && r.attempts_wall_us.is_some()));
+    }
+
+    #[test]
+    fn rejected_jobs_have_no_latency_fields_and_close_their_chains() {
+        let journal = Arc::new(Journal::full(None));
+        let (service, rx) = Service::start_with_journal(
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                retry_backoff_ms: 1,
+            },
+            Some(Arc::clone(&journal)),
+        );
+        // Hold the single worker, fill the 1-slot queue, then overflow.
+        service.submit(JobSpec {
+            deadline_ms: Some(10_000),
+            ..JobSpec::new("hold", JobKind::Spin)
+        });
+        let t0 = Instant::now();
+        while !lock(&service.shared.inflight).contains_key("hold") {
+            assert!(t0.elapsed() < Duration::from_secs(10), "job never started");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        service.submit(JobSpec::new("fill", JobKind::Flaky { fail_attempts: 0 }));
+        let outcome = service.submit(JobSpec::new("shed", JobKind::Panic));
+        assert_eq!(
+            outcome,
+            SubmitOutcome::Rejected {
+                reason: "overloaded"
+            }
+        );
+        assert!(service.cancel("hold"));
+        let health = service.drain();
+        let results = drain_results(&rx);
+        assert_eq!(
+            journal.check_invariants(Some(&health)),
+            Vec::<String>::new()
+        );
+        let shed = results.iter().find(|r| r.id == "shed").unwrap();
+        assert_eq!(shed.queue_wait_us, None);
+        assert_eq!(shed.attempts_wall_us, None);
+        assert!(!shed.to_json_line().contains("queue_wait_us"));
+        let chain: Vec<&'static str> = journal
+            .spans_for("shed")
+            .iter()
+            .map(|e| e.kind.type_name())
+            .collect();
+        assert_eq!(chain, ["submitted", "rejected", "terminal"]);
+        let hold = results.iter().find(|r| r.id == "hold").unwrap();
+        assert_eq!(hold.status, JobStatus::Cancelled);
+        assert_eq!(hold.cancel_source, Some(CancelSource::Api));
+    }
+
+    #[test]
+    fn sampler_emits_health_snapshots_and_a_final_sample() {
+        let journal = Arc::new(Journal::full(Some(Duration::from_millis(5))));
+        let (service, rx) = Service::start_with_journal(
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 8,
+                retry_backoff_ms: 1,
+            },
+            Some(Arc::clone(&journal)),
+        );
+        service.submit(JobSpec::new("a", JobKind::Flaky { fail_attempts: 0 }));
+        let health = service.drain();
+        drain_results(&rx);
+        // The sampler records one final snapshot on stop, so at least one
+        // exists no matter how fast the drain was.
+        let snapshots: Vec<Health> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::HealthSnapshot { health } => Some(health),
+                _ => None,
+            })
+            .collect();
+        assert!(!snapshots.is_empty(), "final sample must exist");
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.completed, health.completed);
+        assert_eq!(
+            journal.check_invariants(Some(&health)),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn shutdown_tags_cancellations_with_the_shutdown_source() {
+        let journal = Arc::new(Journal::full(None));
+        let (service, rx) = Service::start_with_journal(
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 16,
+                retry_backoff_ms: 1,
+            },
+            Some(Arc::clone(&journal)),
+        );
+        for i in 0..3 {
+            service.submit(JobSpec {
+                deadline_ms: Some(10_000),
+                ..JobSpec::new(format!("s{i}"), JobKind::Spin)
+            });
+        }
+        let t0 = Instant::now();
+        while lock(&service.shared.inflight).is_empty() {
+            assert!(t0.elapsed() < Duration::from_secs(10), "no job started");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let health = service.shutdown_now();
+        let results = drain_results(&rx);
+        assert_eq!(
+            journal.check_invariants(Some(&health)),
+            Vec::<String>::new()
+        );
+        assert!(results
+            .iter()
+            .all(|r| r.cancel_source == Some(CancelSource::Shutdown)));
     }
 
     #[test]

@@ -1,0 +1,1185 @@
+//! The service flight recorder: a structured journal of job-lifecycle
+//! events.
+//!
+//! The [`Health`] counters say *that* a soak job shed, retried or died on
+//! a deadline; this module records *when* and *why*. Every transition a
+//! job makes through [`super::Service`] — submitted, rejected, dequeued,
+//! attempt started/failed, cancel requested, terminal — lands in the
+//! journal as one typed [`Event`] with a monotonic timestamp (µs since
+//! the journal's epoch), a global sequence number, the causal job id, and
+//! the worker that performed it; periodic [`EventKind::HealthSnapshot`]
+//! events turn the counters into a time-series.
+//!
+//! Design constraints, in the order they were chosen:
+//!
+//! * **zero overhead when absent** — the service holds an
+//!   `Option<Arc<Journal>>`; `None` means no event is even constructed.
+//!   Job results and documents are identical with and without a journal
+//!   attached (locked by test), the same discipline as `TraceSink` /
+//!   `PerfProbe`.
+//! * **lock-cheap** — events are recorded at *job* granularity (a job
+//!   runs for milliseconds to seconds), so one short `Mutex` push per
+//!   transition is far below measurement noise; the sequence counter and
+//!   snapshot high-water mark are relaxed atomics.
+//! * **bounded** — a journal has a capacity; past it the *oldest* events
+//!   are dropped (and counted), so the tail — the part that explains a
+//!   failure — is always retained. [`Journal::flight_recorder`] is the
+//!   fixed-capacity ring `reproduce serve` always arms: when a resilience
+//!   invariant breaks, the ring is dumped as a `peakperf-servicetrace-v1`
+//!   document so the failure arrives with its history attached.
+//! * **self-verifying** — the journal alone re-derives the accounting
+//!   identity (`completed + failed + cancelled + deadline + rejected ==
+//!   submitted`) via [`Journal::derived`], and [`Journal::check_invariants`]
+//!   proves every job's span chain is gap-free from `Submitted` to
+//!   `Terminal`. `scripts/check_trace_schema.py --servicetrace` enforces
+//!   the same properties on the emitted document in CI.
+//!
+//! [`Journal::chrome_trace`] renders the journal with the shared
+//! [`ChromeTraceWriter`] (the PR-2 trace-event writer): one track per
+//! worker, queue-wait and attempt spans as complete events, and queue
+//! depth as a counter track, so a whole serve/soak run opens in Perfetto.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use peakperf_sim::timing::ChromeTraceWriter;
+use peakperf_sim::CancelSource;
+
+use super::{Health, JobStatus};
+use crate::report::{envelope_json, json_f64, json_string, PAPER_GPUS};
+
+/// Default capacity of the always-on flight-recorder ring.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Why an attempt failed, as far as the journal can classify it from the
+/// attempt's error message (attempts fail through the panic-isolation
+/// boundary, so only the rendered message crosses it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The attempt panicked (isolated; message carries a backtrace).
+    Panic,
+    /// A planned flaky-job failure (the retry-policy test kind).
+    Flaky,
+    /// Any other structured error (simulator errors, bad kernels, ...).
+    Error,
+}
+
+impl ErrorClass {
+    /// Stable tag used in journal events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorClass::Panic => "panic",
+            ErrorClass::Flaky => "flaky",
+            ErrorClass::Error => "error",
+        }
+    }
+
+    /// Classify one attempt's error message.
+    pub fn classify(message: &str) -> ErrorClass {
+        if message.contains("backtrace:") {
+            ErrorClass::Panic
+        } else if message.starts_with("flaky job failed") {
+            ErrorClass::Flaky
+        } else {
+            ErrorClass::Error
+        }
+    }
+}
+
+/// One job-lifecycle transition (or a periodic health sample).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The job entered the queue; `queue_depth` is the depth *after* the
+    /// push (also the source of the Chrome queue-depth counter track).
+    Submitted {
+        /// Queue depth right after this submission.
+        queue_depth: u64,
+    },
+    /// The job was shed at submission.
+    Rejected {
+        /// `overloaded` or `shutting-down`.
+        reason: &'static str,
+    },
+    /// A worker picked the job up after `queue_wait_us` in the queue.
+    Dequeued {
+        /// Microseconds between submission and pickup.
+        queue_wait_us: u64,
+    },
+    /// Attempt `attempt` (1-based) began executing.
+    AttemptStarted {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// Attempt `attempt` failed and the job will retry after
+    /// `backoff_us`. The *final* failure of a job is not an
+    /// `AttemptFailed` — it is carried by the `Terminal{failed}` event —
+    /// so a gap-free chain has exactly `attempts - 1` of these.
+    AttemptFailed {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Why, as classified from the error message.
+        error_class: ErrorClass,
+        /// Backoff slept before the next attempt.
+        backoff_us: u64,
+    },
+    /// Cancellation reached the job, from the given source.
+    CancelRequested {
+        /// Which trigger path fired (api/cycle/deadline/shutdown).
+        source: CancelSource,
+    },
+    /// The job reached its terminal state; `total_wall_us` spans worker
+    /// pickup to the terminal state (0 for jobs that never ran).
+    Terminal {
+        /// The terminal status.
+        status: JobStatus,
+        /// Microseconds from pickup to terminal state.
+        total_wall_us: u64,
+    },
+    /// A periodic sample of the service counters (empty job id).
+    HealthSnapshot {
+        /// The counters at sample time.
+        health: Health,
+    },
+}
+
+impl EventKind {
+    /// Stable type tag used in the servicetrace document.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            EventKind::Submitted { .. } => "submitted",
+            EventKind::Rejected { .. } => "rejected",
+            EventKind::Dequeued { .. } => "dequeued",
+            EventKind::AttemptStarted { .. } => "attempt_started",
+            EventKind::AttemptFailed { .. } => "attempt_failed",
+            EventKind::CancelRequested { .. } => "cancel_requested",
+            EventKind::Terminal { .. } => "terminal",
+            EventKind::HealthSnapshot { .. } => "health_snapshot",
+        }
+    }
+}
+
+/// One journal entry: a typed transition plus its causal coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (strictly increasing across the journal).
+    pub seq: u64,
+    /// Microseconds since the journal's epoch (monotonic clock).
+    pub ts_us: u64,
+    /// The job this event belongs to (empty for health snapshots).
+    pub job: String,
+    /// Worker index that performed the transition, when one did.
+    pub worker: Option<u32>,
+    /// The transition payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Render as one JSON object (one line of the document's `events`
+    /// array).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"ts_us\":{},\"type\":\"{}\"",
+            self.seq,
+            self.ts_us,
+            self.kind.type_name()
+        );
+        if !self.job.is_empty() {
+            let _ = write!(out, ",\"job\":{}", json_string(&self.job));
+        }
+        if let Some(w) = self.worker {
+            let _ = write!(out, ",\"worker\":{w}");
+        }
+        match &self.kind {
+            EventKind::Submitted { queue_depth } => {
+                let _ = write!(out, ",\"queue_depth\":{queue_depth}");
+            }
+            EventKind::Rejected { reason } => {
+                let _ = write!(out, ",\"reason\":\"{reason}\"");
+            }
+            EventKind::Dequeued { queue_wait_us } => {
+                let _ = write!(out, ",\"queue_wait_us\":{queue_wait_us}");
+            }
+            EventKind::AttemptStarted { attempt } => {
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            EventKind::AttemptFailed {
+                attempt,
+                error_class,
+                backoff_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"attempt\":{attempt},\"error_class\":\"{}\",\"backoff_us\":{backoff_us}",
+                    error_class.as_str()
+                );
+            }
+            EventKind::CancelRequested { source } => {
+                let _ = write!(out, ",\"source\":\"{}\"", source.as_str());
+            }
+            EventKind::Terminal {
+                status,
+                total_wall_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"status\":\"{}\",\"total_wall_us\":{total_wall_us}",
+                    status.as_str()
+                );
+            }
+            EventKind::HealthSnapshot { health } => {
+                let _ = write!(
+                    out,
+                    ",\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
+                     \"deadline\":{},\"rejected\":{},\"retried\":{},\"in_flight\":{},\
+                     \"queue_depth\":{},\"queue_depth_max\":{}",
+                    health.submitted,
+                    health.completed,
+                    health.failed,
+                    health.cancelled,
+                    health.deadline,
+                    health.rejected,
+                    health.retried,
+                    health.in_flight,
+                    health.queue_depth,
+                    health.queue_depth_max,
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Per-status counts re-derived from `Terminal` events alone — the
+/// journal-side half of the accounting identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DerivedCounts {
+    /// `Submitted` events.
+    pub submitted: u64,
+    /// `Terminal{completed}` events.
+    pub completed: u64,
+    /// `Terminal{failed}` events.
+    pub failed: u64,
+    /// `Terminal{cancelled}` events.
+    pub cancelled: u64,
+    /// `Terminal{deadline}` events.
+    pub deadline: u64,
+    /// `Terminal{rejected}` events.
+    pub rejected: u64,
+    /// `AttemptFailed` events (each one is exactly one retry).
+    pub retried: u64,
+}
+
+impl DerivedCounts {
+    /// Terminal events by any status.
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.deadline + self.rejected
+    }
+
+    /// The accounting identity, from events alone.
+    pub fn identity_holds(&self) -> bool {
+        self.terminal() == self.submitted
+    }
+
+    /// Whether these counts agree with a [`Health`] snapshot status by
+    /// status.
+    pub fn matches(&self, health: &Health) -> bool {
+        self.submitted == health.submitted
+            && self.completed == health.completed
+            && self.failed == health.failed
+            && self.cancelled == health.cancelled
+            && self.deadline == health.deadline
+            && self.rejected == health.rejected
+            && self.retried == health.retried
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: std::collections::VecDeque<Event>,
+    dropped: u64,
+}
+
+/// The journal itself. Construct with [`Journal::full`] (unbounded, for
+/// `--journal-out`) or [`Journal::flight_recorder`] (fixed-capacity
+/// ring), attach via `Service::start_with_journal`, and read back with
+/// [`Journal::events`] / [`Journal::document`] / [`Journal::chrome_trace`]
+/// once the service has drained.
+#[derive(Debug)]
+pub struct Journal {
+    epoch: Instant,
+    /// `usize::MAX` = unbounded.
+    capacity: usize,
+    snapshot_interval: Option<Duration>,
+    seq: AtomicU64,
+    snapshot_depth_max: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl Journal {
+    /// An unbounded journal recording every event of the run.
+    pub fn full(snapshot_interval: Option<Duration>) -> Journal {
+        Journal::with_capacity(usize::MAX, snapshot_interval)
+    }
+
+    /// A fixed-capacity ring keeping the *last* `capacity` events — the
+    /// flight-recorder mode `reproduce serve` always arms.
+    pub fn flight_recorder(capacity: usize, snapshot_interval: Option<Duration>) -> Journal {
+        Journal::with_capacity(capacity.max(1), snapshot_interval)
+    }
+
+    fn with_capacity(capacity: usize, snapshot_interval: Option<Duration>) -> Journal {
+        Journal {
+            epoch: Instant::now(),
+            capacity,
+            snapshot_interval,
+            seq: AtomicU64::new(0),
+            snapshot_depth_max: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                events: std::collections::VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// The configured health-snapshot interval, if any.
+    pub fn snapshot_interval(&self) -> Option<Duration> {
+        self.snapshot_interval
+    }
+
+    /// Microseconds since the journal's epoch (monotonic).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Record one transition. Timestamps are taken here, under no lock,
+    /// so the ordering invariant is (seq, ts) per job, not global ts.
+    pub fn record(&self, job: &str, worker: Option<u32>, kind: EventKind) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ts_us: self.now_us(),
+            job: job.to_owned(),
+            worker,
+            kind,
+        };
+        let mut inner = lock(&self.inner);
+        // Ring semantics: drop the *oldest*, keep the tail that explains
+        // the present.
+        while inner.events.len() >= self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Record one periodic health sample.
+    pub fn record_snapshot(&self, health: Health) {
+        self.snapshot_depth_max
+            .fetch_max(health.queue_depth, Ordering::Relaxed);
+        self.record("", None, EventKind::HealthSnapshot { health });
+    }
+
+    /// Snapshot of the recorded events, in sequence order.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.inner).events.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).events.is_empty()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// Whether the journal still holds every event it ever recorded
+    /// (ring journals that wrapped are incomplete; span-closure checks
+    /// only apply to complete journals).
+    pub fn is_complete(&self) -> bool {
+        self.dropped() == 0
+    }
+
+    /// Highest queue depth any health snapshot observed.
+    pub fn snapshot_queue_depth_max(&self) -> u64 {
+        self.snapshot_depth_max.load(Ordering::Relaxed)
+    }
+
+    /// The events of one job, in sequence order — its span chain.
+    pub fn spans_for(&self, job: &str) -> Vec<Event> {
+        lock(&self.inner)
+            .events
+            .iter()
+            .filter(|e| e.job == job)
+            .cloned()
+            .collect()
+    }
+
+    /// Re-derive the per-status counts from the events alone.
+    pub fn derived(&self) -> DerivedCounts {
+        derive_counts(&self.events())
+    }
+
+    /// Check every journal invariant; returns one message per violation
+    /// (empty = healthy). With a `health` snapshot, additionally checks
+    /// that the journal-derived counts agree with the counters status by
+    /// status. Span-closure checks are skipped for wrapped rings.
+    pub fn check_invariants(&self, health: Option<&Health>) -> Vec<String> {
+        let events = self.events();
+        let mut violations = check_event_order(&events);
+        if self.is_complete() {
+            violations.extend(check_span_chains(&events));
+            let derived = derive_counts(&events);
+            if !derived.identity_holds() {
+                violations.push(format!(
+                    "accounting identity violated from events alone: \
+                     terminal {} != submitted {}",
+                    derived.terminal(),
+                    derived.submitted
+                ));
+            }
+            if let Some(h) = health {
+                if !derived.matches(h) {
+                    violations.push(format!(
+                        "journal-derived counts disagree with health counters: \
+                         derived {derived:?} vs {}",
+                        h.render_line()
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Render the `peakperf-servicetrace-v1` document: envelope, run
+    /// configuration, the health counters, the journal-derived counts
+    /// (so the identity is checkable from the document alone), and every
+    /// retained event.
+    pub fn document(
+        &self,
+        workers: usize,
+        queue_capacity: usize,
+        health: &Health,
+        wall_ms: f64,
+    ) -> String {
+        let events = self.events();
+        let derived = derive_counts(&events);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&envelope_json("peakperf-servicetrace-v1", &PAPER_GPUS));
+        let _ = writeln!(out, "  \"workers\": {workers},");
+        let _ = writeln!(out, "  \"queue_capacity\": {queue_capacity},");
+        let _ = writeln!(out, "  \"wall_ms\": {},", json_f64(wall_ms));
+        let _ = writeln!(out, "  \"complete\": {},", self.is_complete());
+        match self.capacity {
+            usize::MAX => out.push_str("  \"capacity\": null,\n"),
+            n => {
+                let _ = writeln!(out, "  \"capacity\": {n},");
+            }
+        }
+        let _ = writeln!(out, "  \"dropped\": {},", self.dropped());
+        match self.snapshot_interval {
+            Some(iv) => {
+                let _ = writeln!(out, "  \"snapshot_interval_ms\": {},", iv.as_millis());
+            }
+            None => out.push_str("  \"snapshot_interval_ms\": null,\n"),
+        }
+        let _ = writeln!(
+            out,
+            "  \"snapshot_queue_depth_max\": {},",
+            self.snapshot_queue_depth_max()
+        );
+        out.push_str("  \"health\": {\n");
+        let fields = [
+            ("submitted", health.submitted),
+            ("completed", health.completed),
+            ("failed", health.failed),
+            ("cancelled", health.cancelled),
+            ("deadline", health.deadline),
+            ("rejected", health.rejected),
+            ("retried", health.retried),
+            ("in_flight", health.in_flight),
+            ("queue_depth", health.queue_depth),
+            ("queue_depth_max", health.queue_depth_max),
+        ];
+        for (i, (name, value)) in fields.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {value}{}",
+                if i + 1 < fields.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  },\n  \"derived\": {\n");
+        let derived_fields = [
+            ("submitted", derived.submitted),
+            ("completed", derived.completed),
+            ("failed", derived.failed),
+            ("cancelled", derived.cancelled),
+            ("deadline", derived.deadline),
+            ("rejected", derived.rejected),
+            ("retried", derived.retried),
+        ];
+        for (i, (name, value)) in derived_fields.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {value}{}",
+                if i + 1 < derived_fields.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        out.push_str("  },\n  \"events\": [\n");
+        for (i, e) in events.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                e.to_json_line(),
+                if i + 1 < events.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the journal as Chrome trace-event JSON via the shared
+    /// [`ChromeTraceWriter`]: one track per worker, queue-wait and
+    /// attempt spans as complete events, rejections/cancellations as
+    /// instants, queue depth as a counter track. Timestamps are journal
+    /// microseconds.
+    pub fn chrome_trace(&self, workers: usize) -> String {
+        chrome_trace_from_events(&self.events(), workers)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Nothing panics while holding the journal lock (pushes and clones
+    // only), so poisoning is recoverable.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Count per-status terminals, submissions and retries from an event
+/// slice (see [`Journal::derived`]).
+pub fn derive_counts(events: &[Event]) -> DerivedCounts {
+    let mut d = DerivedCounts::default();
+    for e in events {
+        match &e.kind {
+            EventKind::Submitted { .. } => d.submitted += 1,
+            EventKind::AttemptFailed { .. } => d.retried += 1,
+            EventKind::Terminal { status, .. } => match status {
+                JobStatus::Completed => d.completed += 1,
+                JobStatus::Failed => d.failed += 1,
+                JobStatus::Cancelled => d.cancelled += 1,
+                JobStatus::Deadline => d.deadline += 1,
+                JobStatus::Rejected => d.rejected += 1,
+            },
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Global ordering invariants: seq strictly increasing, and timestamps
+/// nondecreasing *per job* (timestamps are taken outside the journal
+/// lock, so cross-job ts order is not guaranteed — per-job order is).
+fn check_event_order(events: &[Event]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    let mut last_ts: HashMap<&str, u64> = HashMap::new();
+    for e in events {
+        if let Some(prev) = last_seq {
+            if e.seq <= prev {
+                violations.push(format!(
+                    "seq not strictly increasing: {} after {prev}",
+                    e.seq
+                ));
+            }
+        }
+        last_seq = Some(e.seq);
+        let entry = last_ts.entry(e.job.as_str()).or_insert(0);
+        if e.ts_us < *entry {
+            violations.push(format!(
+                "job `{}`: timestamp went backwards ({} after {})",
+                e.job, e.ts_us, entry
+            ));
+        }
+        *entry = (*entry).max(e.ts_us);
+    }
+    violations
+}
+
+/// Per-job span-chain closure: every job's chain is gap-free from
+/// `Submitted` to `Terminal` (see the module docs for the grammar).
+/// Only meaningful on complete journals.
+fn check_span_chains(events: &[Event]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut by_job: HashMap<&str, Vec<&Event>> = HashMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for e in events {
+        if e.job.is_empty() {
+            continue;
+        }
+        let chain = by_job.entry(e.job.as_str()).or_default();
+        if chain.is_empty() {
+            order.push(e.job.as_str());
+        }
+        chain.push(e);
+    }
+    for job in order {
+        let chain = &by_job[job];
+        let mut bad = |msg: String| violations.push(format!("job `{job}`: {msg}"));
+        if !matches!(chain[0].kind, EventKind::Submitted { .. }) {
+            bad(format!(
+                "chain starts with {} instead of submitted",
+                chain[0].kind.type_name()
+            ));
+        }
+        if chain[1..]
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Submitted { .. }))
+        {
+            bad("submitted more than once".to_owned());
+        }
+        let terminals = chain
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Terminal { .. }))
+            .count();
+        if terminals != 1 {
+            bad(format!("{terminals} terminal events, expected exactly 1"));
+            continue;
+        }
+        let last = chain[chain.len() - 1];
+        let EventKind::Terminal { status, .. } = last.kind else {
+            bad(format!(
+                "terminal is not the last event ({} is)",
+                last.kind.type_name()
+            ));
+            continue;
+        };
+        let was_rejected = chain
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Rejected { .. }));
+        if was_rejected != (status == JobStatus::Rejected) {
+            bad(format!(
+                "rejected event presence disagrees with terminal status `{}`",
+                status.as_str()
+            ));
+        }
+        // Attempt numbering: consecutive from 1, each failure matching
+        // the attempt it ends, failures strictly between starts, and
+        // exactly one fewer failure than starts on the retry path.
+        let mut started: u32 = 0;
+        let mut failed: u32 = 0;
+        let mut dequeued = false;
+        for e in chain.iter() {
+            match e.kind {
+                EventKind::Dequeued { .. } => dequeued = true,
+                EventKind::AttemptStarted { attempt } => {
+                    if !dequeued {
+                        bad(format!("attempt {attempt} started before dequeue"));
+                    }
+                    if attempt != started + 1 {
+                        bad(format!(
+                            "attempt numbering gap: attempt {attempt} after {started}"
+                        ));
+                    }
+                    if failed != started {
+                        bad(format!(
+                            "attempt {attempt} started while attempt {started} \
+                             has no recorded failure"
+                        ));
+                    }
+                    started = attempt;
+                }
+                EventKind::AttemptFailed { attempt, .. } => {
+                    if attempt != started {
+                        bad(format!(
+                            "failure of attempt {attempt} but attempt {started} was running"
+                        ));
+                    }
+                    failed += 1;
+                }
+                _ => {}
+            }
+        }
+        // A completed/failed job records exactly starts - 1 retry
+        // failures (the final failure travels on `Terminal{failed}`).
+        // A cancelled/deadline job may also have failed == started:
+        // the abort landed during the retry backoff, after the failure
+        // was journaled but before the next start.
+        let aborted = matches!(status, JobStatus::Cancelled | JobStatus::Deadline);
+        if started > 0 && failed != started - 1 && !(aborted && failed == started) {
+            bad(format!(
+                "{failed} attempt failures for {started} starts \
+                 (a gap-free chain has exactly starts - 1)"
+            ));
+        }
+        if status == JobStatus::Rejected && started > 0 {
+            bad("rejected job has attempt events".to_owned());
+        }
+    }
+    violations
+}
+
+/// [`Journal::chrome_trace`] over an explicit event slice — the seam the
+/// golden-trace test uses to lock the export format with synthetic,
+/// clock-free events.
+pub fn chrome_trace_from_events(events: &[Event], workers: usize) -> String {
+    let mut writer = ChromeTraceWriter::new();
+    writer.thread_name(0, 0, "service");
+    for w in 0..workers {
+        writer.thread_name(0, w as u64 + 1, &format!("worker {w}"));
+    }
+
+    // Group each job's chain, preserving first-seen order.
+    let mut by_job: HashMap<&str, Vec<&Event>> = HashMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for e in events {
+        if e.job.is_empty() {
+            continue;
+        }
+        let chain = by_job.entry(e.job.as_str()).or_default();
+        if chain.is_empty() {
+            order.push(e.job.as_str());
+        }
+        chain.push(e);
+    }
+
+    let mut jobs = 0u64;
+    for job in &order {
+        jobs += 1;
+        let chain = &by_job[*job];
+        // The worker track the job ran on (tid = worker + 1; tid 0 is
+        // the service track for events with no worker).
+        let tid = |e: &Event| e.worker.map_or(0, |w| u64::from(w) + 1);
+        let submitted_ts = chain
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Submitted { .. }))
+            .map(|e| e.ts_us);
+        let terminal = chain
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Terminal { .. }));
+        let status = terminal.map_or("unknown", |e| match e.kind {
+            EventKind::Terminal { status, .. } => status.as_str(),
+            _ => unreachable!(),
+        });
+        for (i, e) in chain.iter().enumerate() {
+            match e.kind {
+                EventKind::Dequeued { queue_wait_us } => {
+                    if let Some(ts) = submitted_ts {
+                        writer.complete(
+                            &format!("queued:{job}"),
+                            "queue",
+                            ts,
+                            e.ts_us.saturating_sub(ts),
+                            tid(e),
+                            &format!(
+                                "{{\"job\":{},\"queue_wait_us\":{queue_wait_us}}}",
+                                json_string(job)
+                            ),
+                        );
+                    }
+                }
+                EventKind::AttemptStarted { attempt } => {
+                    // The attempt span ends at its failure event, or at
+                    // the terminal event for the last attempt. An attempt
+                    // that ends in `AttemptFailed` is labelled `retried`
+                    // (its failure fed a retry); only the final attempt
+                    // carries the job's terminal status.
+                    let end = chain[i + 1..].iter().find(|n| {
+                        matches!(
+                            n.kind,
+                            EventKind::AttemptFailed { .. } | EventKind::Terminal { .. }
+                        )
+                    });
+                    let end_ts = end.map_or(e.ts_us, |n| n.ts_us);
+                    let outcome = match end.map(|n| &n.kind) {
+                        Some(EventKind::AttemptFailed { .. }) => "retried",
+                        _ => status,
+                    };
+                    writer.complete(
+                        job,
+                        "attempt",
+                        e.ts_us,
+                        end_ts.saturating_sub(e.ts_us),
+                        tid(e),
+                        &format!("{{\"attempt\":{attempt},\"status\":\"{outcome}\"}}"),
+                    );
+                }
+                EventKind::Rejected { reason } => {
+                    writer.instant(
+                        &format!("rejected:{job}"),
+                        "rejected",
+                        e.ts_us,
+                        tid(e),
+                        &format!("{{\"reason\":\"{reason}\"}}"),
+                    );
+                }
+                EventKind::CancelRequested { source } => {
+                    writer.instant(
+                        &format!("cancel:{job}"),
+                        "cancel",
+                        e.ts_us,
+                        tid(e),
+                        &format!("{{\"source\":\"{}\"}}", source.as_str()),
+                    );
+                }
+                EventKind::Terminal { status, .. } => {
+                    // Jobs that never started an attempt (queue-
+                    // cancelled) still get a visible mark.
+                    let attempted = chain
+                        .iter()
+                        .any(|c| matches!(c.kind, EventKind::AttemptStarted { .. }));
+                    if !attempted {
+                        writer.instant(
+                            &format!("{}:{job}", status.as_str()),
+                            "terminal",
+                            e.ts_us,
+                            tid(e),
+                            "{}",
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Queue depth as a counter track, sampled at every submission and
+    // health snapshot.
+    for e in events {
+        match e.kind {
+            EventKind::Submitted { queue_depth } => {
+                writer.counter("queue_depth", e.ts_us, queue_depth);
+            }
+            EventKind::HealthSnapshot { ref health } => {
+                writer.counter("queue_depth", e.ts_us, health.queue_depth);
+            }
+            _ => {}
+        }
+    }
+
+    let dropped = events.first().map_or(0, |e| e.seq);
+    writer.finish(&[
+        ("source", "\"peakperf service journal\"".to_owned()),
+        ("unit", "\"microseconds\"".to_owned()),
+        ("workers", workers.to_string()),
+        ("jobs", jobs.to_string()),
+        ("dropped_events", dropped.to_string()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn ev(seq: u64, ts_us: u64, job: &str, worker: Option<u32>, kind: EventKind) -> Event {
+        Event {
+            seq,
+            ts_us,
+            job: job.to_owned(),
+            worker,
+            kind,
+        }
+    }
+
+    /// A well-formed two-attempt completed job plus a rejected one.
+    fn sample_events() -> Vec<Event> {
+        vec![
+            ev(0, 0, "a", None, EventKind::Submitted { queue_depth: 1 }),
+            ev(1, 5, "a", Some(0), EventKind::Dequeued { queue_wait_us: 5 }),
+            ev(2, 6, "a", Some(0), EventKind::AttemptStarted { attempt: 1 }),
+            ev(
+                3,
+                20,
+                "a",
+                Some(0),
+                EventKind::AttemptFailed {
+                    attempt: 1,
+                    error_class: ErrorClass::Flaky,
+                    backoff_us: 1000,
+                },
+            ),
+            ev(
+                4,
+                1030,
+                "a",
+                Some(0),
+                EventKind::AttemptStarted { attempt: 2 },
+            ),
+            ev(
+                5,
+                1100,
+                "a",
+                Some(0),
+                EventKind::Terminal {
+                    status: JobStatus::Completed,
+                    total_wall_us: 1095,
+                },
+            ),
+            ev(6, 1200, "b", None, EventKind::Submitted { queue_depth: 1 }),
+            ev(
+                7,
+                1201,
+                "b",
+                None,
+                EventKind::Rejected {
+                    reason: "overloaded",
+                },
+            ),
+            ev(
+                8,
+                1202,
+                "b",
+                None,
+                EventKind::Terminal {
+                    status: JobStatus::Rejected,
+                    total_wall_us: 0,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn derive_counts_rebuilds_the_identity_from_events_alone() {
+        let d = derive_counts(&sample_events());
+        assert_eq!(d.submitted, 2);
+        assert_eq!(d.completed, 1);
+        assert_eq!(d.rejected, 1);
+        assert_eq!(d.retried, 1);
+        assert!(d.identity_holds());
+    }
+
+    #[test]
+    fn well_formed_chains_pass_invariants() {
+        assert_eq!(check_event_order(&sample_events()), Vec::<String>::new());
+        assert_eq!(check_span_chains(&sample_events()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn gaps_in_span_chains_are_detected() {
+        // Missing attempt 1: numbering gap + orphan failure count.
+        let mut events = sample_events();
+        events.remove(2);
+        let violations = check_span_chains(&events);
+        assert!(
+            violations.iter().any(|v| v.contains("numbering gap")),
+            "{violations:?}"
+        );
+
+        // Terminal before the last event.
+        let mut events = sample_events();
+        events.swap(4, 5);
+        assert!(check_span_chains(&events)
+            .iter()
+            .any(|v| v.contains("terminal is not the last event")));
+
+        // A chain with no submitted.
+        let events = vec![ev(
+            0,
+            0,
+            "x",
+            Some(0),
+            EventKind::Terminal {
+                status: JobStatus::Completed,
+                total_wall_us: 1,
+            },
+        )];
+        assert!(check_span_chains(&events)
+            .iter()
+            .any(|v| v.contains("instead of submitted")));
+
+        // Attempt started before dequeue.
+        let events = vec![
+            ev(0, 0, "y", None, EventKind::Submitted { queue_depth: 1 }),
+            ev(1, 1, "y", Some(0), EventKind::AttemptStarted { attempt: 1 }),
+            ev(
+                2,
+                2,
+                "y",
+                Some(0),
+                EventKind::Terminal {
+                    status: JobStatus::Completed,
+                    total_wall_us: 2,
+                },
+            ),
+        ];
+        assert!(check_span_chains(&events)
+            .iter()
+            .any(|v| v.contains("before dequeue")));
+    }
+
+    #[test]
+    fn event_order_violations_are_detected() {
+        let mut events = sample_events();
+        events[1].seq = 0;
+        assert!(check_event_order(&events)
+            .iter()
+            .any(|v| v.contains("seq not strictly increasing")));
+
+        let mut events = sample_events();
+        events[4].ts_us = 1;
+        assert!(check_event_order(&events)
+            .iter()
+            .any(|v| v.contains("timestamp went backwards")));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_marks_incomplete() {
+        let journal = Journal::flight_recorder(3, None);
+        for i in 0..5u64 {
+            journal.record(
+                &format!("j{i}"),
+                None,
+                EventKind::Submitted { queue_depth: i },
+            );
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.dropped(), 2);
+        assert!(!journal.is_complete());
+        let events = journal.events();
+        // The tail survives: j2, j3, j4.
+        assert_eq!(events[0].job, "j2");
+        assert_eq!(events[2].job, "j4");
+        // Wrapped rings skip span-closure checks but keep order checks.
+        assert_eq!(journal.check_invariants(None), Vec::<String>::new());
+    }
+
+    #[test]
+    fn snapshots_track_the_depth_high_water_mark() {
+        let journal = Journal::full(Some(Duration::from_millis(10)));
+        let mut health = Health {
+            queue_depth: 7,
+            ..Health::default()
+        };
+        journal.record_snapshot(health);
+        health.queue_depth = 3;
+        journal.record_snapshot(health);
+        assert_eq!(journal.snapshot_queue_depth_max(), 7);
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.events()[0].kind.type_name(), "health_snapshot");
+    }
+
+    #[test]
+    fn event_json_lines_parse_and_carry_their_fields() {
+        for e in sample_events() {
+            let line = e.to_json_line();
+            let parsed = Json::parse(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(
+                parsed.get("type").and_then(Json::as_str),
+                Some(e.kind.type_name()),
+                "{line}"
+            );
+            assert_eq!(parsed.get("seq").and_then(Json::as_f64), Some(e.seq as f64));
+        }
+        let snap = ev(
+            9,
+            10,
+            "",
+            None,
+            EventKind::HealthSnapshot {
+                health: Health {
+                    submitted: 3,
+                    queue_depth: 2,
+                    ..Health::default()
+                },
+            },
+        );
+        let parsed = Json::parse(&snap.to_json_line()).unwrap();
+        assert_eq!(parsed.get("queue_depth").and_then(Json::as_f64), Some(2.0));
+        assert!(parsed.get("job").is_none(), "snapshots carry no job id");
+    }
+
+    #[test]
+    fn document_is_balanced_and_self_consistent() {
+        let journal = Journal::full(None);
+        for e in sample_events() {
+            journal.record(&e.job, e.worker, e.kind);
+        }
+        let health = Health {
+            submitted: 2,
+            completed: 1,
+            rejected: 1,
+            retried: 1,
+            ..Health::default()
+        };
+        assert_eq!(
+            journal.check_invariants(Some(&health)),
+            Vec::<String>::new()
+        );
+        let doc = journal.document(2, 8, &health, 3.5);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("peakperf-servicetrace-v1")
+        );
+        let derived = parsed.get("derived").unwrap();
+        assert_eq!(derived.get("submitted").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            parsed.get("events").unwrap().as_arr().unwrap().len(),
+            journal.len()
+        );
+    }
+
+    #[test]
+    fn journal_derived_counts_disagreeing_with_health_is_a_violation() {
+        let journal = Journal::full(None);
+        for e in sample_events() {
+            journal.record(&e.job, e.worker, e.kind);
+        }
+        let wrong = Health {
+            submitted: 5,
+            ..Health::default()
+        };
+        assert!(journal
+            .check_invariants(Some(&wrong))
+            .iter()
+            .any(|v| v.contains("disagree")));
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_and_has_the_expected_tracks() {
+        let trace = chrome_trace_from_events(&sample_events(), 2);
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("worker 0"), "worker tracks are named");
+        assert!(trace.contains("queued:a"), "queue-wait span present");
+        assert!(trace.contains("rejected:b"), "rejection instant present");
+        assert!(
+            trace.contains("\"ph\":\"C\""),
+            "queue depth counter track present"
+        );
+        assert!(trace.contains("\"unit\": \"microseconds\""));
+    }
+
+    #[test]
+    fn error_classes_classify_the_three_failure_shapes() {
+        assert_eq!(
+            ErrorClass::classify("panicked at x\nbacktrace:\n  ..."),
+            ErrorClass::Panic
+        );
+        assert_eq!(
+            ErrorClass::classify("flaky job failed attempt 1 of 2 planned failure(s)"),
+            ErrorClass::Flaky
+        );
+        assert_eq!(
+            ErrorClass::classify("step limit exceeded"),
+            ErrorClass::Error
+        );
+    }
+}

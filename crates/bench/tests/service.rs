@@ -1,16 +1,21 @@
 //! Integration tests of the resilient service core and the `reproduce
 //! serve` subcommand: the chaos soak (hundreds of hostile jobs, every
 //! one reaching a terminal state with the queue bound respected), the
-//! accounting identity end to end, and the JSONL job-file path.
+//! accounting identity end to end, the JSONL job-file path, and the
+//! flight-recorder journal (gap-free span chains, identity re-derived
+//! from events alone, the Chrome-trace export, and the
+//! journal-off/journal-on equivalence lock).
 
 use std::process::{Command, Output};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use peakperf_bench::json::Json;
+use peakperf_bench::service::journal::{self, Event, EventKind, Journal};
 use peakperf_bench::service::{
     self, JobKind, JobResult, JobSpec, JobStatus, Service, ServiceConfig,
 };
+use peakperf_sim::CancelSource;
 
 fn reproduce(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_reproduce"))
@@ -205,7 +210,7 @@ fn serve_cli_runs_a_jobs_file_and_emits_valid_documents() {
 }
 
 #[test]
-fn serve_cli_fails_when_a_file_job_fails() {
+fn serve_cli_fails_when_a_file_job_fails_and_dumps_the_flight_recorder() {
     let dir = std::env::temp_dir().join(format!("peakperf-serve-bad-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let jobs_path = dir.join("jobs.jsonl");
@@ -214,13 +219,375 @@ fn serve_cli_fails_when_a_file_job_fails() {
         JobSpec::new("boom", JobKind::Panic).to_json_line(),
     )
     .unwrap();
-    let out = reproduce(&["serve", "--jobs", jobs_path.to_str().unwrap()]);
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["serve", "--jobs", jobs_path.to_str().unwrap()])
+        .current_dir(&dir)
+        .output()
+        .expect("failed to launch reproduce");
     assert!(
         !out.status.success(),
         "a panicking job from --jobs must fail the exit code"
     );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("boom"), "stderr should name the job: {err}");
+    // A failing run ships with its history: the always-armed flight
+    // recorder is dumped and the error message points at it.
+    assert!(
+        err.contains("serve-flightrec.json"),
+        "stderr should point at the flight-recorder dump: {err}"
+    );
+    let dump = std::fs::read_to_string(dir.join("serve-flightrec.json"))
+        .expect("flight-recorder dump should exist next to the run");
+    let doc = Json::parse(&dump).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("peakperf-servicetrace-v1")
+    );
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty(), "the dump must carry the event history");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journal_rederives_identity_on_a_200_job_seeded_soak() {
+    // The tentpole property, end to end: attach a full journal to a
+    // 200-job seeded chaos soak and require (a) no invariant violation —
+    // seq strictly increasing, per-job timestamps monotone, every span
+    // chain gap-free from Submitted to Terminal — and (b) the accounting
+    // identity re-derived from the event stream alone, agreeing with the
+    // atomic health counters status by status.
+    let journal = Arc::new(Journal::full(Some(Duration::from_millis(20))));
+    let (svc, rx) = Service::start_with_journal(
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 32,
+            retry_backoff_ms: 1,
+        },
+        Some(Arc::clone(&journal)),
+    );
+    let jobs = service::soak_jobs(200, 77);
+    let total = jobs.len();
+    for job in jobs {
+        svc.submit(job);
+    }
+    let results = collect(&rx, total, Duration::from_secs(300));
+    let health = svc.drain();
+
+    let violations = journal.check_invariants(Some(&health));
+    assert_eq!(violations, Vec::<String>::new());
+    let derived = journal.derived();
+    assert!(derived.identity_holds());
+    assert_eq!(derived.submitted, total as u64);
+    assert!(journal.is_complete(), "full journals never drop events");
+
+    // Every result's terminal status is readable from its span chain.
+    for r in &results {
+        let chain = journal.spans_for(&r.id);
+        assert!(!chain.is_empty(), "job {} has no journal chain", r.id);
+        match chain.last().unwrap().kind {
+            EventKind::Terminal { status, .. } => {
+                assert_eq!(status, r.status, "journal disagrees on {}", r.id)
+            }
+            ref other => panic!("job {} chain ends with {}", r.id, other.type_name()),
+        }
+    }
+    // The health time-series ran alongside the soak.
+    assert!(journal
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::HealthSnapshot { .. })));
+}
+
+/// Blank out the volatile wall-time fields of a service document so two
+/// runs of the same deterministic job list compare equal.
+fn mask_volatile(doc: &str) -> String {
+    let mut out = doc.to_owned();
+    for key in [
+        "\"wall_ms\":",
+        "\"queue_wait_us\":",
+        "\"attempts_wall_us\":",
+    ] {
+        let mut masked = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(i) = rest.find(key) {
+            let after = i + key.len();
+            masked.push_str(&rest[..after]);
+            let tail = &rest[after..];
+            let end = tail
+                .find(|c: char| !(c.is_ascii_digit() || ".eE+-".contains(c)))
+                .unwrap_or(tail.len());
+            masked.push('X');
+            rest = &tail[end..];
+        }
+        masked.push_str(rest);
+        out = masked;
+    }
+    out
+}
+
+#[test]
+fn journal_attachment_leaves_results_and_documents_identical() {
+    // The zero-overhead-when-off lock: the same deterministic job list,
+    // run with no journal and with a full journal + aggressive
+    // snapshots, must produce the same service document up to volatile
+    // wall-time fields — attaching the flight recorder changes what is
+    // *recorded*, never what the service *does*.
+    let jobs = || {
+        vec![
+            JobSpec {
+                max_retries: 2,
+                ..JobSpec::new("recovers", JobKind::Flaky { fail_attempts: 1 })
+            },
+            JobSpec {
+                max_retries: 1,
+                ..JobSpec::new("exhausts", JobKind::Flaky { fail_attempts: 3 })
+            },
+            JobSpec {
+                cancel_at_cycle: Some(4096),
+                deadline_ms: Some(30_000),
+                ..JobSpec::new("aborts", JobKind::Spin)
+            },
+        ]
+    };
+    let run = |journal: Option<Arc<Journal>>| {
+        let (svc, rx) = Service::start_with_journal(
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 8,
+                retry_backoff_ms: 1,
+            },
+            journal,
+        );
+        for job in jobs() {
+            svc.submit(job);
+        }
+        let results = collect(&rx, 3, Duration::from_secs(60));
+        let health = svc.drain();
+        service::service_document(1, 8, &health, &results, 0.0, None)
+    };
+    let off = run(None);
+    let on = run(Some(Arc::new(Journal::full(Some(Duration::from_millis(
+        2,
+    ))))));
+    assert_eq!(mask_volatile(&off), mask_volatile(&on));
+    assert!(
+        !off.contains("snapshot"),
+        "the journal must not leak into the service document"
+    );
+}
+
+/// A fixed, clock-free event sequence locking the Chrome-trace export
+/// format: a retried-then-completed job, a shed job, and a
+/// cycle-cancelled job across two workers, plus one health snapshot for
+/// the counter track.
+fn synthetic_events() -> Vec<Event> {
+    let ev = |seq: u64, ts_us: u64, job: &str, worker: Option<u32>, kind: EventKind| Event {
+        seq,
+        ts_us,
+        job: job.to_owned(),
+        worker,
+        kind,
+    };
+    let health = service::Health {
+        submitted: 3,
+        completed: 1,
+        rejected: 1,
+        retried: 1,
+        in_flight: 1,
+        queue_depth: 0,
+        ..service::Health::default()
+    };
+    vec![
+        ev(0, 0, "alpha", None, EventKind::Submitted { queue_depth: 1 }),
+        ev(1, 3, "gamma", None, EventKind::Submitted { queue_depth: 2 }),
+        ev(2, 5, "beta", None, EventKind::Submitted { queue_depth: 2 }),
+        ev(
+            3,
+            6,
+            "beta",
+            None,
+            EventKind::Rejected {
+                reason: "overloaded",
+            },
+        ),
+        ev(
+            4,
+            7,
+            "beta",
+            None,
+            EventKind::Terminal {
+                status: JobStatus::Rejected,
+                total_wall_us: 0,
+            },
+        ),
+        ev(
+            5,
+            10,
+            "alpha",
+            Some(0),
+            EventKind::Dequeued { queue_wait_us: 10 },
+        ),
+        ev(
+            6,
+            12,
+            "alpha",
+            Some(0),
+            EventKind::AttemptStarted { attempt: 1 },
+        ),
+        ev(
+            7,
+            15,
+            "gamma",
+            Some(1),
+            EventKind::Dequeued { queue_wait_us: 12 },
+        ),
+        ev(
+            8,
+            16,
+            "gamma",
+            Some(1),
+            EventKind::AttemptStarted { attempt: 1 },
+        ),
+        ev(
+            9,
+            40,
+            "alpha",
+            Some(0),
+            EventKind::AttemptFailed {
+                attempt: 1,
+                error_class: journal::ErrorClass::Flaky,
+                backoff_us: 1000,
+            },
+        ),
+        ev(10, 50, "", None, EventKind::HealthSnapshot { health }),
+        ev(
+            11,
+            60,
+            "gamma",
+            Some(1),
+            EventKind::CancelRequested {
+                source: CancelSource::Cycle,
+            },
+        ),
+        ev(
+            12,
+            62,
+            "gamma",
+            Some(1),
+            EventKind::Terminal {
+                status: JobStatus::Cancelled,
+                total_wall_us: 47,
+            },
+        ),
+        ev(
+            13,
+            1045,
+            "alpha",
+            Some(0),
+            EventKind::AttemptStarted { attempt: 2 },
+        ),
+        ev(
+            14,
+            1100,
+            "alpha",
+            Some(0),
+            EventKind::Terminal {
+                status: JobStatus::Completed,
+                total_wall_us: 1090,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn servicetrace_chrome_export_matches_golden_file() {
+    let events = synthetic_events();
+    let json = journal::chrome_trace_from_events(&events, 2);
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden_servicetrace.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &json).unwrap();
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, golden,
+        "servicetrace Chrome export drifted from tests/golden_servicetrace.json; \
+         if intentional, regenerate with UPDATE_GOLDEN=1 cargo test"
+    );
+}
+
+#[test]
+fn serve_cli_writes_journal_and_trace_artifacts() {
+    let dir = std::env::temp_dir().join(format!("peakperf-serve-jrn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal_path = dir.join("journal.json");
+    let trace_path = dir.join("trace.json");
+    let out = reproduce(&[
+        "serve",
+        "--soak",
+        "25",
+        "--seed",
+        "3",
+        "--queue-cap",
+        "8",
+        "--snapshot-ms",
+        "10",
+        "--journal-out",
+        journal_path.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "serve failed:\n{err}");
+
+    let doc = Json::parse(&std::fs::read_to_string(&journal_path).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("peakperf-servicetrace-v1")
+    );
+    assert_eq!(doc.get("complete"), Some(&Json::Bool(true)));
+    let derived = doc.get("derived").unwrap();
+    let health = doc.get("health").unwrap();
+    let n = |obj: &Json, k: &str| obj.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(
+        n(derived, "completed")
+            + n(derived, "failed")
+            + n(derived, "cancelled")
+            + n(derived, "deadline")
+            + n(derived, "rejected"),
+        n(derived, "submitted"),
+        "identity must be re-derivable from the document alone"
+    );
+    for key in [
+        "submitted",
+        "completed",
+        "failed",
+        "cancelled",
+        "deadline",
+        "rejected",
+        "retried",
+    ] {
+        assert_eq!(n(derived, key), n(health, key), "derived vs health: {key}");
+    }
+    let events = doc.get("events").unwrap().as_arr().unwrap();
+    assert!(
+        events.len() >= 25 * 2,
+        "at least submitted+terminal per job"
+    );
+
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let parsed = Json::parse(&trace).unwrap();
+    assert!(!parsed
+        .get("traceEvents")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
+    assert!(trace.contains("\"ph\":\"C\""), "queue-depth counter track");
+    assert!(trace.contains("worker 0"), "named worker tracks");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -23,8 +23,13 @@
 //! * a simulated-cycle trigger armed with
 //!   [`CancelToken::cancel_at_cycle`] — deterministic by construction,
 //!   used by tests to prove cancelled runs leave consistent state.
+//!
+//! Whichever path fires first is recorded as a [`CancelSource`]
+//! (`api | cycle | deadline | shutdown`), queryable with
+//! [`CancelToken::fired_source`] — the provenance the service journal
+//! attaches to `CancelRequested` events and job results.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -44,6 +49,53 @@ pub enum CancelCause {
     DeadlineExceeded,
 }
 
+/// *Which* trigger path fired a token first — the provenance the service
+/// journal records as `CancelRequested{source}` and surfaces on the job
+/// result, so a cancelled soak job says whether the API, the cycle grid,
+/// a deadline, or shutdown killed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelSource {
+    /// An explicit host-side [`CancelToken::cancel`] (cancel-by-id).
+    Api,
+    /// The deterministic [`CancelToken::cancel_at_cycle`] trigger.
+    Cycle,
+    /// The wall-clock deadline armed at token creation.
+    Deadline,
+    /// Service shutdown ([`CancelToken::cancel_from`] with this source).
+    Shutdown,
+}
+
+impl CancelSource {
+    /// Stable tag used in journal events and result documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelSource::Api => "api",
+            CancelSource::Cycle => "cycle",
+            CancelSource::Deadline => "deadline",
+            CancelSource::Shutdown => "shutdown",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            CancelSource::Api => 1,
+            CancelSource::Cycle => 2,
+            CancelSource::Deadline => 3,
+            CancelSource::Shutdown => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<CancelSource> {
+        match v {
+            1 => Some(CancelSource::Api),
+            2 => Some(CancelSource::Cycle),
+            3 => Some(CancelSource::Deadline),
+            4 => Some(CancelSource::Shutdown),
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     cancelled: AtomicBool,
@@ -54,6 +106,9 @@ struct Inner {
     deadline: Option<Instant>,
     /// The deadline's original budget, for diagnostics.
     deadline_ms: u64,
+    /// First trigger path that fired (0 = none yet); first writer wins,
+    /// so the recorded source names the cause, not a later bystander.
+    source: AtomicU8,
 }
 
 /// A cloneable cancellation handle (see the module docs).
@@ -78,6 +133,7 @@ impl CancelToken {
                 cancel_at_cycle: AtomicU64::new(u64::MAX),
                 deadline: None,
                 deadline_ms: 0,
+                source: AtomicU8::new(0),
             }),
         }
     }
@@ -91,13 +147,38 @@ impl CancelToken {
                 cancel_at_cycle: AtomicU64::new(u64::MAX),
                 deadline: Some(Instant::now() + budget),
                 deadline_ms: budget.as_millis().min(u128::from(u64::MAX)) as u64,
+                source: AtomicU8::new(0),
             }),
         }
     }
 
-    /// Request cancellation. Idempotent; visible to every clone.
+    /// Request cancellation. Idempotent; visible to every clone. Tagged
+    /// [`CancelSource::Api`]; use [`CancelToken::cancel_from`] for other
+    /// provenances.
     pub fn cancel(&self) {
+        self.cancel_from(CancelSource::Api);
+    }
+
+    /// [`CancelToken::cancel`] with an explicit provenance tag (e.g.
+    /// [`CancelSource::Shutdown`] when a service tears down in-flight
+    /// work). The first recorded source wins.
+    pub fn cancel_from(&self, source: CancelSource) {
+        self.tag(source);
         self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    fn tag(&self, source: CancelSource) {
+        let _ = self.inner.source.compare_exchange(
+            0,
+            source.to_u8(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The first trigger path that fired this token, once one has.
+    pub fn fired_source(&self) -> Option<CancelSource> {
+        CancelSource::from_u8(self.inner.source.load(Ordering::Relaxed))
     }
 
     /// Arm a deterministic trigger: polls at simulated cycle >= `cycle`
@@ -124,13 +205,17 @@ impl CancelToken {
     /// [`CHECK_INTERVAL_CYCLES`]; explicit cancellation wins over the
     /// deadline when both have fired.
     pub fn fire_state(&self, cycle: u64) -> Option<CancelCause> {
-        if self.inner.cancelled.load(Ordering::Relaxed)
-            || cycle >= self.inner.cancel_at_cycle.load(Ordering::Relaxed)
-        {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            // cancel()/cancel_from() already tagged the source.
+            return Some(CancelCause::Cancelled);
+        }
+        if cycle >= self.inner.cancel_at_cycle.load(Ordering::Relaxed) {
+            self.tag(CancelSource::Cycle);
             return Some(CancelCause::Cancelled);
         }
         if let Some(deadline) = self.inner.deadline {
             if Instant::now() >= deadline {
+                self.tag(CancelSource::Deadline);
                 return Some(CancelCause::DeadlineExceeded);
             }
         }
@@ -187,5 +272,42 @@ mod tests {
         std::thread::sleep(Duration::from_millis(1));
         t.cancel();
         assert_eq!(t.fire_state(0), Some(CancelCause::Cancelled));
+        assert_eq!(t.fired_source(), Some(CancelSource::Api));
+    }
+
+    #[test]
+    fn fired_source_names_the_trigger_path() {
+        let api = CancelToken::new();
+        assert_eq!(api.fired_source(), None, "unfired token has no source");
+        api.cancel();
+        assert_eq!(api.fired_source(), Some(CancelSource::Api));
+
+        let cycle = CancelToken::new();
+        cycle.cancel_at_cycle(100);
+        assert_eq!(cycle.fired_source(), None, "armed but not yet polled");
+        assert_eq!(cycle.fire_state(100), Some(CancelCause::Cancelled));
+        assert_eq!(cycle.fired_source(), Some(CancelSource::Cycle));
+
+        let deadline = CancelToken::with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(deadline.fire_state(0), Some(CancelCause::DeadlineExceeded));
+        assert_eq!(deadline.fired_source(), Some(CancelSource::Deadline));
+
+        let shutdown = CancelToken::new();
+        shutdown.cancel_from(CancelSource::Shutdown);
+        assert_eq!(shutdown.fired_source(), Some(CancelSource::Shutdown));
+    }
+
+    #[test]
+    fn first_fired_source_wins() {
+        // A cycle trigger that fired first is not re-attributed to a
+        // later explicit cancel (the journal must name the real cause).
+        let t = CancelToken::new();
+        t.cancel_at_cycle(10);
+        assert_eq!(t.fire_state(10), Some(CancelCause::Cancelled));
+        t.cancel();
+        assert_eq!(t.fired_source(), Some(CancelSource::Cycle));
+        // Source is visible across clones like the flag itself.
+        assert_eq!(t.clone().fired_source(), Some(CancelSource::Cycle));
     }
 }

@@ -63,7 +63,7 @@ mod stats;
 pub mod timing;
 mod warp;
 
-pub use cancel::{CancelCause, CancelToken};
+pub use cancel::{CancelCause, CancelSource, CancelToken};
 pub use error::{HangSnapshot, SimError, WarpHang};
 pub use func::Gpu;
 pub use launch::{Dim3, LaunchConfig};

@@ -29,7 +29,9 @@ pub use calib::Calibration;
 pub use conflict::{global_transactions, shared_conflict_factor};
 pub use profile::{Profile, ProfileBuilder};
 pub use sm::{StallKind, TimingReport, TimingSim};
-pub use trace::{chrome_trace, NoopSink, TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
+pub use trace::{
+    chrome_trace, ChromeTraceWriter, NoopSink, TraceBuffer, TraceEvent, TraceEventKind, TraceSink,
+};
 
 use peakperf_arch::GpuConfig;
 use peakperf_sass::Kernel;

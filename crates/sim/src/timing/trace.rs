@@ -171,8 +171,102 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
 // Chrome trace-event export
 // ---------------------------------------------------------------------
 
-/// Render a recorded trace as Chrome trace-event JSON (the format
+/// Incremental writer for Chrome trace-event JSON (the format
 /// `chrome://tracing` and Perfetto load).
+///
+/// Shared between the simulator's cycle-level export ([`chrome_trace`])
+/// and the service journal's job-level export in `peakperf-bench`: both
+/// produce one `traceEvents` array of metadata / complete / instant /
+/// counter records plus an `otherData` trailer, and this writer owns the
+/// separators, indentation and escaping so the two exports cannot drift
+/// apart in shape.
+#[derive(Debug)]
+pub struct ChromeTraceWriter {
+    out: String,
+    first: bool,
+}
+
+impl Default for ChromeTraceWriter {
+    fn default() -> ChromeTraceWriter {
+        ChromeTraceWriter::new()
+    }
+}
+
+impl ChromeTraceWriter {
+    /// A writer with the `traceEvents` array opened.
+    pub fn new() -> ChromeTraceWriter {
+        ChromeTraceWriter {
+            out: "{\n  \"traceEvents\": [\n".to_owned(),
+            first: true,
+        }
+    }
+
+    /// Append one pre-rendered event object (no surrounding separators).
+    pub fn raw_event(&mut self, line: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push_str("    ");
+        self.out.push_str(line);
+    }
+
+    /// A `thread_name` metadata record naming track `tid` of `pid`.
+    pub fn thread_name(&mut self, pid: u32, tid: u64, name: &str) {
+        self.raw_event(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        ));
+    }
+
+    /// A complete (`"ph":"X"`) event spanning `[ts, ts+dur]` on one track.
+    /// `args` is a pre-rendered JSON object (pass `"{}"` for none).
+    pub fn complete(&mut self, name: &str, cat: &str, ts: u64, dur: u64, tid: u64, args: &str) {
+        self.raw_event(&format!(
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{tid},\
+             \"cat\":\"{cat}\",\"args\":{args}}}",
+            json_string(name)
+        ));
+    }
+
+    /// A thread-scoped instant (`"ph":"i"`) event.
+    pub fn instant(&mut self, name: &str, cat: &str, ts: u64, tid: u64, args: &str) {
+        self.raw_event(&format!(
+            "{{\"name\":{},\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\"pid\":0,\"tid\":{tid},\
+             \"cat\":\"{cat}\",\"args\":{args}}}",
+            json_string(name)
+        ));
+    }
+
+    /// A counter (`"ph":"C"`) sample — Perfetto renders these as a value
+    /// track (e.g. queue depth over time).
+    pub fn counter(&mut self, name: &str, ts: u64, value: u64) {
+        self.raw_event(&format!(
+            "{{\"name\":{},\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\"tid\":0,\
+             \"cat\":\"counter\",\"args\":{{\"value\":{value}}}}}",
+            json_string(name)
+        ));
+    }
+
+    /// Close the array, append `displayTimeUnit` and the `otherData`
+    /// trailer (`other` values are pre-rendered JSON), and return the
+    /// finished document.
+    pub fn finish(mut self, other: &[(&str, String)]) -> String {
+        self.out.push_str("\n  ],\n");
+        self.out
+            .push_str("  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {\n");
+        for (i, (name, value)) in other.iter().enumerate() {
+            let _ = write!(self.out, "    \"{name}\": {value}");
+            self.out
+                .push_str(if i + 1 < other.len() { ",\n" } else { "\n" });
+        }
+        self.out.push_str("  }\n}\n");
+        self.out
+    }
+}
+
+/// Render a recorded trace as Chrome trace-event JSON.
 ///
 /// Mapping: one process (`pid` 0, the SM); one thread per warp (`tid` =
 /// warp slot, named `warp N (sched S)`); issues and stalls are complete
@@ -180,17 +274,7 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<'_, A, B> {
 /// are instant (`"ph":"i"`) events. Timestamps are shader *cycles*, not
 /// microseconds — `otherData.unit` records this.
 pub fn chrome_trace(buffer: &TraceBuffer, kernel: &Kernel, schedulers: u32) -> String {
-    let mut out = String::new();
-    out.push_str("{\n  \"traceEvents\": [\n");
-    let mut first = true;
-    let mut emit = |line: String, out: &mut String| {
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
-        out.push_str("    ");
-        out.push_str(&line);
-    };
+    let mut writer = ChromeTraceWriter::new();
 
     // Thread-name metadata for every warp that appears.
     let mut warps: Vec<u16> = buffer.events.iter().map(|e| e.warp).collect();
@@ -198,13 +282,7 @@ pub fn chrome_trace(buffer: &TraceBuffer, kernel: &Kernel, schedulers: u32) -> S
     warps.dedup();
     for &w in &warps {
         let sched = u32::from(w) % schedulers.max(1);
-        emit(
-            format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{w},\
-                 \"args\":{{\"name\":\"warp {w} (sched {sched})\"}}}}"
-            ),
-            &mut out,
-        );
+        writer.thread_name(0, u64::from(w), &format!("warp {w} (sched {sched})"));
     }
 
     for e in &buffer.events {
@@ -261,20 +339,14 @@ pub fn chrome_trace(buffer: &TraceBuffer, kernel: &Kernel, schedulers: u32) -> S
                 let _ = write!(line, "\"args\":{{\"scheduler\":{}}}}}", e.scheduler);
             }
         }
-        emit(line, &mut out);
+        writer.raw_event(&line);
     }
-    out.push_str("\n  ],\n");
-    let _ = writeln!(
-        out,
-        "  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {{\n    \"kernel\": {},\n    \
-         \"unit\": \"shader cycles\",\n    \"schedulers\": {},\n    \"dropped_events\": {}\n  }}",
-        json_string(&kernel.name),
-        schedulers,
-        buffer.dropped
-    );
-    out.push('}');
-    out.push('\n');
-    out
+    writer.finish(&[
+        ("kernel", json_string(&kernel.name)),
+        ("unit", "\"shader cycles\"".to_owned()),
+        ("schedulers", schedulers.to_string()),
+        ("dropped_events", buffer.dropped.to_string()),
+    ])
 }
 
 /// Escape a string per RFC 8259.

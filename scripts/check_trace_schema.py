@@ -6,6 +6,7 @@ Usage:
     scripts/check_trace_schema.py --bench bench.json
     scripts/check_trace_schema.py --hostprof hostprof.json
     scripts/check_trace_schema.py --service service.json
+    scripts/check_trace_schema.py --servicetrace journal.json
 
 Checks, for the peakperf-profile-v1 document:
   * required keys and their types (scripts/trace_schema.json);
@@ -50,6 +51,21 @@ For the peakperf-service-v1 document (scripts/service_schema.json):
   * attempts >= 1 for every executed job and == 0 for shed/queue-cancelled
     ones, with unique result ids.
 
+For the peakperf-servicetrace-v1 document (scripts/servicetrace_schema.json),
+the flight-recorder journal:
+  * required keys and their types, on the envelope, the health and derived
+    objects, and every event (per-type payload shapes);
+  * enum fields carry known values only (terminal statuses, error classes,
+    cancel sources, reject reasons);
+  * `seq` is strictly increasing across the journal and `ts_us` is
+    monotone per job;
+  * when the journal is complete (dropped == 0): every job's span chain is
+    gap-free — opens with `submitted`, closes with exactly one `terminal` —
+    and the accounting identity re-derived from the event stream alone
+    (completed + failed + cancelled + deadline + rejected == submitted)
+    matches both the document's `derived` object and the live health
+    counters, status by status.
+
 Exit code 0 on success, 1 on any violation (all violations are listed).
 """
 
@@ -62,6 +78,9 @@ SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "trace_schema.json")
 BENCH_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "bench_schema.json")
 HOSTPROF_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "hostprof_schema.json")
 SERVICE_SCHEMA_PATH = os.path.join(os.path.dirname(__file__), "service_schema.json")
+SERVICETRACE_SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "servicetrace_schema.json"
+)
 
 TYPES = {
     "str": str,
@@ -400,6 +419,129 @@ def check_service_document(doc, schema, errors):
         )
 
 
+def check_servicetrace_document(doc, schema, errors):
+    check_required(
+        doc, schema["servicetrace_document"]["required"], "servicetrace document", errors
+    )
+    if doc.get("schema") != schema["servicetrace_schema"]:
+        errors.append(
+            f"servicetrace document: schema is {doc.get('schema')!r}, "
+            f"expected {schema['servicetrace_schema']!r}"
+        )
+    health = doc.get("health")
+    if isinstance(health, dict):
+        check_required(
+            health, schema["servicetrace_health"]["required"], "servicetrace health", errors
+        )
+    derived = doc.get("derived")
+    if isinstance(derived, dict):
+        check_required(
+            derived,
+            schema["servicetrace_derived"]["required"],
+            "servicetrace derived",
+            errors,
+        )
+
+    statuses = schema["terminal_statuses"]
+    payloads = schema["event_payloads"]
+    enums = {
+        "status": set(statuses),
+        "error_class": set(schema["error_classes"]),
+        "source": set(schema["cancel_sources"]),
+        "reason": set(schema["reject_reasons"]),
+    }
+
+    events = doc.get("events", [])
+    last_seq = None
+    last_ts_per_job = {}
+    chains = {}
+    recomputed = dict.fromkeys(statuses, 0)
+    recomputed["submitted"] = 0
+    recomputed["retried"] = 0
+    for i, event in enumerate(events):
+        where = f"events[{i}]"
+        check_required(event, schema["event_common"]["required"], where, errors)
+        etype = event.get("type")
+        if etype not in payloads:
+            errors.append(f"{where}: unknown event type {etype!r}")
+            continue
+        check_required(event, payloads[etype], f"{where} ({etype})", errors)
+        for field, allowed in enums.items():
+            if field in payloads[etype] and event.get(field) not in allowed:
+                errors.append(
+                    f"{where} ({etype}): {field} {event.get(field)!r} "
+                    f"not in {sorted(allowed)}"
+                )
+        seq, ts = event.get("seq"), event.get("ts_us")
+        if isinstance(seq, int):
+            if last_seq is not None and seq <= last_seq:
+                errors.append(f"{where}: seq {seq} not strictly after {last_seq}")
+            last_seq = seq
+        job = event.get("job")
+        if isinstance(job, str) and isinstance(ts, int):
+            if ts < last_ts_per_job.get(job, 0):
+                errors.append(
+                    f"{where}: ts_us {ts} goes backwards for job {job!r} "
+                    f"(was {last_ts_per_job[job]})"
+                )
+            last_ts_per_job[job] = ts
+            chains.setdefault(job, []).append(etype)
+        if etype == "submitted":
+            recomputed["submitted"] += 1
+        elif etype == "attempt_failed":
+            recomputed["retried"] += 1
+        elif etype == "terminal" and event.get("status") in recomputed:
+            recomputed[event.get("status")] += 1
+        if len(errors) > 20:
+            errors.append("... (stopping after 20 violations)")
+            return
+
+    if doc.get("dropped") != 0:
+        # A truncated ring dump: span chains and the identity are only
+        # checkable on a complete journal.
+        return
+    for job, chain in chains.items():
+        if chain[0] != "submitted":
+            errors.append(
+                f"servicetrace document: job {job!r} chain opens with "
+                f"{chain[0]!r}, not 'submitted' (gap at the front)"
+            )
+        if chain[-1] != "terminal":
+            errors.append(
+                f"servicetrace document: job {job!r} chain ends with "
+                f"{chain[-1]!r}, not 'terminal' (job lost mid-flight)"
+            )
+        if chain.count("terminal") != 1:
+            errors.append(
+                f"servicetrace document: job {job!r} has "
+                f"{chain.count('terminal')} terminal events, expected exactly 1"
+            )
+    identity = sum(recomputed[s] for s in statuses)
+    if identity != recomputed["submitted"]:
+        errors.append(
+            "servicetrace document: identity re-derived from events violated: "
+            + " + ".join(f"{s} {recomputed[s]}" for s in statuses)
+            + f" = {identity} != submitted {recomputed['submitted']}"
+        )
+    for obj_name in ("derived", "health"):
+        obj = doc.get(obj_name)
+        if not isinstance(obj, dict):
+            continue
+        for key, want in recomputed.items():
+            if isinstance(obj.get(key), int) and obj[key] != want:
+                errors.append(
+                    f"servicetrace document: events re-derive {key} = {want} "
+                    f"but {obj_name} says {obj[key]}"
+                )
+    cap = doc.get("queue_capacity")
+    peak = doc.get("snapshot_queue_depth_max")
+    if isinstance(cap, int) and isinstance(peak, int) and peak > cap:
+        errors.append(
+            f"servicetrace document: snapshot_queue_depth_max {peak} "
+            f"exceeds queue_capacity {cap} (backpressure bound violated)"
+        )
+
+
 def check_chrome_trace(doc, schema, errors):
     spec = schema["chrome_trace"]
     check_required(doc, spec["required"], "chrome trace", errors)
@@ -430,11 +572,16 @@ def main():
     parser.add_argument("--bench", help="peakperf-bench-v1 document to validate")
     parser.add_argument("--hostprof", help="peakperf-hostprof-v1 document to validate")
     parser.add_argument("--service", help="peakperf-service-v1 document to validate")
+    parser.add_argument(
+        "--servicetrace", help="peakperf-servicetrace-v1 journal document to validate"
+    )
     args = parser.parse_args()
-    if not any((args.profile, args.trace, args.bench, args.hostprof, args.service)):
+    if not any(
+        (args.profile, args.trace, args.bench, args.hostprof, args.service, args.servicetrace)
+    ):
         parser.error(
             "nothing to validate: pass --profile, --trace, --bench, --hostprof, "
-            "and/or --service"
+            "--service, and/or --servicetrace"
         )
 
     with open(SCHEMA_PATH, encoding="utf-8") as f:
@@ -462,6 +609,11 @@ def main():
             service_schema = json.load(f)
         with open(args.service, encoding="utf-8") as f:
             check_service_document(json.load(f), service_schema, errors)
+    if args.servicetrace:
+        with open(SERVICETRACE_SCHEMA_PATH, encoding="utf-8") as f:
+            servicetrace_schema = json.load(f)
+        with open(args.servicetrace, encoding="utf-8") as f:
+            check_servicetrace_document(json.load(f), servicetrace_schema, errors)
 
     if errors:
         print(f"schema check FAILED ({len(errors)} violation(s)):", file=sys.stderr)
@@ -470,7 +622,14 @@ def main():
         return 1
     checked = " and ".join(
         p
-        for p in (args.profile, args.trace, args.bench, args.hostprof, args.service)
+        for p in (
+            args.profile,
+            args.trace,
+            args.bench,
+            args.hostprof,
+            args.service,
+            args.servicetrace,
+        )
         if p
     )
     print(f"schema check OK: {checked}")
